@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+//! The paper's four analyses over the retirement stream.
+//!
+//! * [`PathLength`] — dynamic instruction counts, total and per named
+//!   kernel region (Figure 1, Table 1 "Path Length" rows);
+//! * [`CriticalPath`] — longest read-after-write dependency chain through
+//!   registers and memory, unit cost per instruction (Table 1 "CP"/"ILP");
+//! * [`CriticalPath::scaled`] — the same chain weighted by execution
+//!   latencies, loads/stores unscaled per the paper's store-forwarding
+//!   assumption (Table 2);
+//! * [`WindowedCp`] — critical path within a sliding window over the
+//!   execution (window sizes 4..2000, 50 % slide), modelling a finite ROB
+//!   (Figure 2).
+//!
+//! All analyses implement [`simcore::Observer`] and stream: memory use is
+//! bounded by the touched data set (critical path) or the largest window
+//! (windowed), never by trace length.
+//!
+//! ```
+//! use analysis::CriticalPath;
+//! use simcore::{InstGroup, Observer, RegId, RegSet, RetiredInst};
+//!
+//! // A three-instruction serial chain has CP 3 and ILP 1.
+//! let mut cp = CriticalPath::new();
+//! for _ in 0..3 {
+//!     let mut ri = RetiredInst::new(0, InstGroup::FpAdd);
+//!     ri.srcs = RegSet::of(&[RegId::Fp(0)]);
+//!     ri.dsts = RegSet::of(&[RegId::Fp(0)]);
+//!     cp.on_retire(&ri);
+//! }
+//! let r = cp.result();
+//! assert_eq!(r.critical_path, 3);
+//! assert_eq!(r.ilp(), 1.0);
+//! ```
+
+pub mod critical_path;
+pub mod depdist;
+pub mod instmix;
+pub mod path_length;
+pub mod tables;
+pub mod windowed;
+
+pub use critical_path::{CpResult, CriticalPath, DualCriticalPath};
+pub use depdist::{DepDistance, DIST_BUCKETS};
+pub use instmix::{CpComposition, InstMix};
+pub use path_length::PathLength;
+pub use tables::*;
+pub use windowed::{WindowStats, WindowedCp, PAPER_WINDOW_SIZES};
+
+/// The paper's assumed clock rate for runtime estimates (2 GHz).
+pub const CLOCK_GHZ: f64 = 2.0;
+
+/// Convert a cycle count to milliseconds at the paper's 2 GHz clock.
+pub fn runtime_ms(cycles: u64) -> f64 {
+    cycles as f64 / (CLOCK_GHZ * 1e6)
+}

@@ -1,0 +1,394 @@
+//! Result containers and paper-style table/figure formatting.
+//!
+//! One [`ExperimentCell`] holds everything measured for a (workload,
+//! compiler, ISA) combination; a [`ResultMatrix`] formats the full set the
+//! way the paper reports it (Tables 1-2, Figures 1-2).
+
+use serde::{Deserialize, Serialize};
+
+/// All measurements for one (workload, compiler, ISA) cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentCell {
+    /// Workload name ("STREAM", ...).
+    pub workload: String,
+    /// Compiler label ("gcc-9.2" / "gcc-12.2").
+    pub compiler: String,
+    /// ISA label ("AArch64" / "RISC-V").
+    pub isa: String,
+    /// Dynamic instruction count.
+    pub path_length: u64,
+    /// Unit-cost critical path.
+    pub critical_path: u64,
+    /// Latency-scaled critical path (TX2 latencies).
+    pub scaled_cp: u64,
+    /// Per-kernel instruction counts, in kernel order.
+    pub kernels: Vec<(String, u64)>,
+    /// Windowed-CP stats: (window size, mean CP, mean ILP).
+    pub windows: Vec<(usize, f64, f64)>,
+}
+
+impl ExperimentCell {
+    /// ILP from the unit-cost critical path.
+    pub fn ilp(&self) -> f64 {
+        self.path_length as f64 / self.critical_path.max(1) as f64
+    }
+
+    /// ILP from the scaled critical path.
+    pub fn scaled_ilp(&self) -> f64 {
+        self.path_length as f64 / self.scaled_cp.max(1) as f64
+    }
+
+    /// 2 GHz runtime estimate (ms) from the unit-cost CP.
+    pub fn runtime_ms(&self) -> f64 {
+        crate::runtime_ms(self.critical_path)
+    }
+
+    /// 2 GHz runtime estimate (ms) from the scaled CP.
+    pub fn scaled_runtime_ms(&self) -> f64 {
+        crate::runtime_ms(self.scaled_cp)
+    }
+}
+
+/// The full experiment matrix plus formatters for every paper artefact.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ResultMatrix {
+    /// All measured cells.
+    pub cells: Vec<ExperimentCell>,
+}
+
+impl ResultMatrix {
+    /// Look up a cell.
+    pub fn get(&self, workload: &str, compiler: &str, isa: &str) -> Option<&ExperimentCell> {
+        self.cells
+            .iter()
+            .find(|c| c.workload == workload && c.compiler == compiler && c.isa == isa)
+    }
+
+    /// Distinct workloads in insertion order.
+    pub fn workloads(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for c in &self.cells {
+            if !out.contains(&c.workload) {
+                out.push(c.workload.clone());
+            }
+        }
+        out
+    }
+
+    fn compilers(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for c in &self.cells {
+            if !out.contains(&c.compiler) {
+                out.push(c.compiler.clone());
+            }
+        }
+        out
+    }
+
+    /// Render Table 1 (path length, CP, ILP, 2 GHz runtime).
+    pub fn table1(&self) -> String {
+        self.render_table(
+            "Table 1: Critical Paths and ILP per Benchmark",
+            &[
+                ("Path Length", &|c: &ExperimentCell| fmt_u64(c.path_length)),
+                ("CP", &|c| fmt_u64(c.critical_path)),
+                ("ILP", &|c| format!("{:.0}", c.ilp())),
+                ("2GHz Run time (ms)", &|c| fmt_ms(c.runtime_ms())),
+            ],
+        )
+    }
+
+    /// Render Table 2 (scaled CP, ILP, 2 GHz runtime).
+    pub fn table2(&self) -> String {
+        self.render_table(
+            "Table 2: Scaled Critical Paths and ILP per Benchmark",
+            &[
+                ("Scaled CP", &|c: &ExperimentCell| fmt_u64(c.scaled_cp)),
+                ("ILP", &|c| format!("{:.0}", c.scaled_ilp())),
+                ("2GHz Run time (ms)", &|c| fmt_ms(c.scaled_runtime_ms())),
+            ],
+        )
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn render_table(
+        &self,
+        title: &str,
+        rows: &[(&str, &dyn Fn(&ExperimentCell) -> String)],
+    ) -> String {
+        let mut out = String::new();
+        out.push_str(title);
+        out.push('\n');
+        for w in self.workloads() {
+            out.push_str(&format!("\n== {w} ==\n"));
+            let mut header = format!("{:<22}", "");
+            let mut cols: Vec<&ExperimentCell> = Vec::new();
+            for compiler in self.compilers() {
+                for isa in ["AArch64", "RISC-V"] {
+                    if let Some(c) = self.get(&w, &compiler, isa) {
+                        header.push_str(&format!("{:>24}", format!("{compiler}/{isa}")));
+                        cols.push(c);
+                    }
+                }
+            }
+            out.push_str(&header);
+            out.push('\n');
+            for (label, f) in rows {
+                out.push_str(&format!("{label:<22}"));
+                for c in &cols {
+                    out.push_str(&format!("{:>24}", f(c)));
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Figure 1 data: per-kernel path lengths, normalised to the GCC 9.2 /
+    /// AArch64 total for the same workload, as CSV
+    /// (`workload,compiler,isa,kernel,instructions,normalised`).
+    pub fn fig1_csv(&self) -> String {
+        let mut out = String::from("workload,compiler,isa,kernel,instructions,normalised\n");
+        for w in self.workloads() {
+            let base = self
+                .get(&w, "gcc-9.2", "AArch64")
+                .map(|c| c.path_length)
+                .unwrap_or(1)
+                .max(1) as f64;
+            for c in self.cells.iter().filter(|c| c.workload == w) {
+                for (kernel, count) in &c.kernels {
+                    out.push_str(&format!(
+                        "{},{},{},{},{},{:.6}\n",
+                        c.workload,
+                        c.compiler,
+                        c.isa,
+                        kernel,
+                        count,
+                        *count as f64 / base
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Figure 2 data: mean ILP per window size, GCC 12.2 binaries, as CSV
+    /// (`workload,isa,window,mean_cp,mean_ilp`).
+    pub fn fig2_csv(&self) -> String {
+        let mut out = String::from("workload,isa,window,mean_cp,mean_ilp\n");
+        for c in self.cells.iter().filter(|c| c.compiler == "gcc-12.2") {
+            for (size, mean_cp, mean_ilp) in &c.windows {
+                out.push_str(&format!(
+                    "{},{},{},{:.3},{:.3}\n",
+                    c.workload, c.isa, size, mean_cp, mean_ilp
+                ));
+            }
+        }
+        out
+    }
+
+    /// The artifact's `basicCPResult.txt` / `scaledCPResult.txt`: critical
+    /// path and ILP per benchmark, one line per cell.
+    pub fn cp_result_txt(&self, scaled: bool) -> String {
+        let mut out = String::new();
+        for c in &self.cells {
+            let (cp, ilp) = if scaled {
+                (c.scaled_cp, c.scaled_ilp())
+            } else {
+                (c.critical_path, c.ilp())
+            };
+            out.push_str(&format!(
+                "{} {} {}: pathLength={} CP={} ILP={:.1}\n",
+                c.workload, c.compiler, c.isa, c.path_length, cp, ilp
+            ));
+        }
+        out
+    }
+
+    /// The artifact's `windowAverages.txt`: one comma-separated list of
+    /// mean window-CP lengths per benchmark (ascending window size),
+    /// GCC 12.2 binaries.
+    pub fn window_averages_txt(&self) -> String {
+        let mut out = String::new();
+        for c in self.cells.iter().filter(|c| c.compiler == "gcc-12.2") {
+            let means: Vec<String> =
+                c.windows.iter().map(|(_, cp, _)| format!("{cp:.3}")).collect();
+            out.push_str(&format!("{} {}: {}\n", c.workload, c.isa, means.join(",")));
+        }
+        out
+    }
+
+    /// A gnuplot script rendering Figure 2 (mean ILP vs window size,
+    /// log-log, one line per workload/ISA) with inline data blocks — the
+    /// artifact's `lineGraph.pdf` equivalent: `gnuplot results/fig2.gnuplot`.
+    pub fn fig2_gnuplot(&self) -> String {
+        let mut out = String::from(concat!(
+            "set terminal pdfcairo size 9,5\n",
+            "set output 'fig2.pdf'\n",
+            "set logscale x 2\n",
+            "set logscale y\n",
+            "set xlabel 'window size'\n",
+            "set ylabel 'mean ILP'\n",
+            "set title 'Mean ILP per window (GCC 12.2)'\n",
+            "set key outside\n",
+        ));
+        let cells: Vec<&ExperimentCell> =
+            self.cells.iter().filter(|c| c.compiler == "gcc-12.2").collect();
+        for (i, c) in cells.iter().enumerate() {
+            out.push_str(&format!("$data{i} << EOD\n"));
+            for (size, _, ilp) in &c.windows {
+                out.push_str(&format!("{size} {ilp:.4}\n"));
+            }
+            out.push_str("EOD\n");
+        }
+        out.push_str("plot ");
+        let plots: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let dash = if c.isa == "RISC-V" { 2 } else { 1 };
+                format!(
+                    "$data{i} using 1:2 with linespoints dashtype {dash} title '{} {}'",
+                    c.workload, c.isa
+                )
+            })
+            .collect();
+        out.push_str(&plots.join(", \\\n     "));
+        out.push('\n');
+        out
+    }
+
+    /// Serialise the whole matrix as JSON (the artifact's `results/` role).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("matrix serialises")
+    }
+
+    /// Parse a matrix back from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+/// Thousands-separated integer, like the paper's tables.
+pub fn fmt_u64(v: u64) -> String {
+    let s = v.to_string();
+    let mut out = String::new();
+    for (i, ch) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(ch);
+    }
+    out
+}
+
+fn fmt_ms(v: f64) -> String {
+    if v >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(w: &str, compiler: &str, isa: &str, pl: u64, cp: u64) -> ExperimentCell {
+        ExperimentCell {
+            workload: w.into(),
+            compiler: compiler.into(),
+            isa: isa.into(),
+            path_length: pl,
+            critical_path: cp,
+            scaled_cp: cp * 6,
+            kernels: vec![("k1".into(), pl / 2), ("k2".into(), pl / 2)],
+            windows: vec![(4, 2.0, 2.0), (16, 4.0, 4.0)],
+        }
+    }
+
+    fn sample() -> ResultMatrix {
+        ResultMatrix {
+            cells: vec![
+                cell("STREAM", "gcc-9.2", "AArch64", 1000, 100),
+                cell("STREAM", "gcc-9.2", "RISC-V", 1100, 100),
+                cell("STREAM", "gcc-12.2", "AArch64", 900, 100),
+                cell("STREAM", "gcc-12.2", "RISC-V", 1100, 100),
+            ],
+        }
+    }
+
+    #[test]
+    fn thousands_formatting() {
+        assert_eq!(fmt_u64(0), "0");
+        assert_eq!(fmt_u64(999), "999");
+        assert_eq!(fmt_u64(1000), "1,000");
+        assert_eq!(fmt_u64(3_350_107_615), "3,350,107,615");
+    }
+
+    #[test]
+    fn table1_contains_all_cells() {
+        let t = sample().table1();
+        assert!(t.contains("STREAM"));
+        assert!(t.contains("gcc-9.2/AArch64"));
+        assert!(t.contains("1,000"));
+        assert!(t.contains("Path Length"));
+    }
+
+    #[test]
+    fn fig1_normalises_to_gcc92_aarch64() {
+        let csv = sample().fig1_csv();
+        // gcc-12.2/AArch64 kernel k1: 450/1000 = 0.45
+        assert!(csv.contains("STREAM,gcc-12.2,AArch64,k1,450,0.450000"), "{csv}");
+    }
+
+    #[test]
+    fn fig2_only_gcc122() {
+        let csv = sample().fig2_csv();
+        assert!(!csv.contains("gcc-9.2"));
+        assert!(csv.lines().count() > 1);
+    }
+
+    #[test]
+    fn cp_result_txt_format() {
+        let basic = sample().cp_result_txt(false);
+        assert!(basic.contains("STREAM gcc-9.2 AArch64: pathLength=1000 CP=100 ILP=10.0"));
+        let scaled = sample().cp_result_txt(true);
+        assert!(scaled.contains("CP=600"));
+    }
+
+    #[test]
+    fn window_averages_format() {
+        let t = sample().window_averages_txt();
+        assert!(t.contains("STREAM AArch64: 2.000,4.000"));
+        assert!(!t.contains("gcc"));
+    }
+
+    #[test]
+    fn fig2_gnuplot_structure() {
+        let g = sample().fig2_gnuplot();
+        assert!(g.contains("$data0 << EOD"));
+        assert!(g.contains("plot "));
+        assert!(g.contains("STREAM RISC-V"));
+        assert!(!g.contains("gcc-9.2"), "figure 2 is GCC 12.2 only");
+        // Two gcc-12.2 cells -> two data blocks.
+        assert_eq!(g.matches("EOD").count(), 4, "two << EOD + two terminators");
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let m = sample();
+        let j = m.to_json();
+        let back = ResultMatrix::from_json(&j).unwrap();
+        assert_eq!(back.cells.len(), m.cells.len());
+        assert_eq!(back.cells[0].path_length, 1000);
+    }
+
+    #[test]
+    fn ilp_and_runtime() {
+        let c = cell("X", "gcc-12.2", "RISC-V", 1000, 100);
+        assert_eq!(c.ilp(), 10.0);
+        assert!((c.runtime_ms() - 100.0 / 2e6).abs() < 1e-12);
+        assert_eq!(c.scaled_ilp(), 1000.0 / 600.0);
+    }
+}

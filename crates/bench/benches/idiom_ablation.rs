@@ -1,0 +1,44 @@
+//! Experiment E6: ablation of the codegen idioms the paper's §3.3 and §7
+//! analyse (register-offset addressing, post-indexing, fused
+//! compare-and-branch).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use isacmp::{compile, execute, IsaKind, PathLength, Personality, SizeClass, Workload};
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("idiom_ablation");
+    group.sample_size(10);
+    let base = Personality::gcc122();
+    let mut post = base;
+    post.arm_post_index = true;
+    let mut noreg = base;
+    noreg.arm_register_offset = false;
+    let mut nofuse = base;
+    nofuse.riscv_fused_compare_branch = false;
+
+    let variants: [(&str, IsaKind, Personality); 5] = [
+        ("arm-register-offset", IsaKind::AArch64, base),
+        ("arm-post-index", IsaKind::AArch64, post),
+        ("arm-pointer-bump", IsaKind::AArch64, noreg),
+        ("riscv-fused-cb", IsaKind::RiscV, base),
+        ("riscv-unfused-cb", IsaKind::RiscV, nofuse),
+    ];
+    for (name, isa, p) in variants {
+        let prog = Workload::Stream.build(SizeClass::Test);
+        let compiled = compile(&prog, isa, &p);
+        let mut pl = PathLength::new(&compiled.program.regions);
+        execute(&compiled, &mut [&mut pl]);
+        println!("# ablation: {name} path_length={}", pl.total());
+        group.bench_with_input(BenchmarkId::new("stream", name), &compiled, |b, compiled| {
+            b.iter(|| {
+                let mut pl = PathLength::new(&compiled.program.regions);
+                execute(compiled, &mut [&mut pl]);
+                pl.total()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

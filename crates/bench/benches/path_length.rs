@@ -1,0 +1,46 @@
+//! Experiment E1 (paper Figure 1 / Table 1 "Path Length" rows): dynamic
+//! instruction counts per benchmark and per kernel.
+//!
+//! The bench times one full emulation+count pass per (workload, ISA) cell
+//! and prints the measured path lengths — the numbers behind Figure 1 —
+//! as Criterion runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use isacmp::{compile, execute, IsaKind, PathLength, Personality, SizeClass, Workload};
+
+fn bench_path_length(c: &mut Criterion) {
+    let mut group = c.benchmark_group("path_length");
+    group.sample_size(10);
+    for w in Workload::ALL {
+        for isa in [IsaKind::AArch64, IsaKind::RiscV] {
+            let prog = w.build(SizeClass::Test);
+            let compiled = compile(&prog, isa, &Personality::gcc122());
+            // Print the measurement itself once, so the bench output carries
+            // the figure's data.
+            let mut pl = PathLength::new(&compiled.program.regions);
+            execute(&compiled, &mut [&mut pl]);
+            println!(
+                "# fig1: {} {} path_length={} kernels={:?}",
+                w.name(),
+                isacmp::isa_label(isa),
+                pl.total(),
+                pl.by_kernel()
+            );
+            group.bench_with_input(
+                BenchmarkId::new(w.name(), isacmp::isa_label(isa)),
+                &compiled,
+                |b, compiled| {
+                    b.iter(|| {
+                        let mut pl = PathLength::new(&compiled.program.regions);
+                        execute(compiled, &mut [&mut pl]);
+                        pl.total()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_path_length);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Experiment E7 (paper §8 Future Work): trace-driven pipeline timing with
+//! realistic out-of-order resources.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use isacmp::{run_pipeline, IsaKind, Personality, PipelineConfig, SizeClass, Workload};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    let p = Personality::gcc122();
+    for w in [Workload::Stream, Workload::Lbm] {
+        for isa in [IsaKind::AArch64, IsaKind::RiscV] {
+            let stats = run_pipeline(w, isa, &p, SizeClass::Test, PipelineConfig::tx2(), true);
+            println!(
+                "# pipeline: {} {} OoO(TX2) cycles={} ipc={:.2}",
+                w.name(),
+                isacmp::isa_label(isa),
+                stats.cycles,
+                stats.ipc()
+            );
+            group.bench_with_input(
+                BenchmarkId::new(w.name(), isacmp::isa_label(isa)),
+                &(w, isa),
+                |b, &(w, isa)| {
+                    b.iter(|| {
+                        run_pipeline(w, isa, &p, SizeClass::Test, PipelineConfig::tx2(), true)
+                            .cycles
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

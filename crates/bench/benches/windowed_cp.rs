@@ -1,0 +1,36 @@
+//! Experiment E4 (paper Figure 2): windowed critical-path analysis across
+//! the paper's window sizes (GCC 12.2 binaries only, per the paper).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use isacmp::{compile, execute, IsaKind, Personality, SizeClass, WindowedCp, Workload};
+
+fn bench_windowed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("windowed_cp");
+    group.sample_size(10);
+    for w in Workload::ALL {
+        for isa in [IsaKind::AArch64, IsaKind::RiscV] {
+            let prog = w.build(SizeClass::Test);
+            let compiled = compile(&prog, isa, &Personality::gcc122());
+            let mut wcp = WindowedCp::paper();
+            execute(&compiled, &mut [&mut wcp]);
+            let series: Vec<(usize, f64)> =
+                wcp.stats().iter().map(|s| (s.size, s.mean_ilp())).collect();
+            println!("# fig2: {} {} mean_ilp_per_window={series:?}", w.name(), isacmp::isa_label(isa));
+            group.bench_with_input(
+                BenchmarkId::new(w.name(), isacmp::isa_label(isa)),
+                &compiled,
+                |b, compiled| {
+                    b.iter(|| {
+                        let mut wcp = WindowedCp::paper();
+                        execute(compiled, &mut [&mut wcp]);
+                        wcp.stats().len()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_windowed);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Run a statically linked ELF produced by `make_tables elves` (or any
+//! simple static ELF in the supported subset) through the emulation core
+//! and print the paper's metrics — the equivalent of the artifact's
+//! "run all relevant (pre-compiled) binaries" step.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin make_tables -- elves --size small
+//! cargo run --release -p bench --bin run_elf -- results/bin/stream-gcc-12.2-riscv64.elf
+//! ```
+
+use isacmp::{
+    AArch64Executor, CpuState, DualCriticalPath, EmulationCore, IsaKind, Observer, PathLength,
+    Program, RiscVExecutor, Tx2Latency, WindowedCp,
+};
+
+fn main() {
+    let path = match std::env::args().nth(1) {
+        Some(p) => p,
+        None => {
+            eprintln!("usage: run_elf <binary.elf>");
+            std::process::exit(2);
+        }
+    };
+    let bytes = std::fs::read(&path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let program = Program::from_elf(&bytes).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        std::process::exit(1);
+    });
+
+    let mut st = CpuState::new();
+    program.load(&mut st).expect("load");
+    let mut pl = PathLength::new(&program.regions);
+    let mut cp = DualCriticalPath::new(Tx2Latency);
+    let mut wcp = WindowedCp::paper();
+    let mut obs: Vec<&mut dyn Observer> = vec![&mut pl, &mut cp, &mut wcp];
+
+    let stats = match program.isa {
+        IsaKind::RiscV => EmulationCore::new(RiscVExecutor::new()).run(&mut st, &mut obs),
+        IsaKind::AArch64 => EmulationCore::new(AArch64Executor::new()).run(&mut st, &mut obs),
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("guest fault: {e} (pc={:#x})", st.pc);
+        std::process::exit(1);
+    });
+
+    println!("{path}");
+    println!("  isa          : {}", program.isa);
+    println!("  exit code    : {}", stats.exit_code);
+    println!("  path length  : {}", pl.total());
+    let r = cp.unit();
+    println!("  critical path: {}  (ILP {:.0}, 2GHz runtime {:.4} ms)", r.critical_path, r.ilp(), r.runtime_ms());
+    let s = cp.scaled();
+    println!("  scaled CP    : {}  (ILP {:.0}, 2GHz runtime {:.4} ms)", s.critical_path, s.ilp(), s.runtime_ms());
+    println!("  per kernel   :");
+    for (name, count) in pl.by_kernel() {
+        println!("    {name:<14} {count}");
+    }
+    println!("  windowed ILP :");
+    for w in wcp.stats() {
+        println!("    window {:<6} mean CP {:>10.2}  mean ILP {:>8.2}", w.size, w.mean_cp(), w.mean_ilp());
+    }
+    if !st.output.is_empty() {
+        println!("  guest output : {:?}", st.output_string());
+    }
+}

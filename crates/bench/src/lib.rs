@@ -1,0 +1,8 @@
+//! Benchmark crate: Criterion benches (one per paper table/figure) and the
+//! `make_tables` harness binary that regenerates every artefact.
+//!
+//! See `src/bin/make_tables.rs` and the `benches/` directory.
+
+/// The experiment ids this crate can regenerate.
+pub const EXPERIMENTS: [&str; 8] =
+    ["table1", "table2", "fig1", "fig2", "ablation", "pipeline", "mix", "elves"];

@@ -1,0 +1,256 @@
+#![warn(missing_docs)]
+//! `isacmp` — the public API for reproducing "An Empirical Comparison of
+//! the RISC-V and AArch64 Instruction Sets" (Weaver & McIntosh-Smith,
+//! SC-W 2023).
+//!
+//! The facade wires the whole stack together:
+//!
+//! 1. a workload ([`Workload`]) is built as a loop-kernel IR program,
+//! 2. a compiler personality ([`Personality`]) lowers it to real machine
+//!    code for an ISA ([`IsaKind`]),
+//! 3. the single-cycle emulation core executes the binary while analysis
+//!    observers stream over the retirement trace,
+//! 4. results land in an [`ExperimentCell`] / [`ResultMatrix`] with
+//!    formatters for every table and figure in the paper.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use isacmp::{run_cell, IsaKind, Personality, SizeClass, Workload};
+//!
+//! let cell = run_cell(Workload::Stream, IsaKind::RiscV, &Personality::gcc122(), SizeClass::Test);
+//! println!("path length = {}", cell.path_length);
+//! println!("ILP = {:.0}", cell.ilp());
+//! assert!(cell.critical_path <= cell.path_length);
+//! ```
+
+use rayon::prelude::*;
+
+pub use analysis::{
+    runtime_ms, CpComposition, CpResult, CriticalPath, DepDistance, DualCriticalPath,
+    ExperimentCell, InstMix, PathLength,
+    ResultMatrix, WindowStats, WindowedCp, CLOCK_GHZ, PAPER_WINDOW_SIZES,
+};
+pub use isa_aarch64::AArch64Executor;
+pub use isa_riscv::RiscVExecutor;
+pub use kernelgen::{compile, interpret, Compiled, KernelProgram, Personality};
+pub use simcore::{
+    CpuState, EmulationCore, InstGroup, IsaExecutor, IsaKind, Observer, Program, RetiredInst,
+    RunStats,
+};
+pub use uarch::{
+    BimodalPredictor, BranchStats, CacheConfig, CacheModel, CacheStats, GsharePredictor,
+    InOrderCore, LatencyModel, OoOCore,
+    PipelineConfig, PipelineStats, Tx2Latency, UnitLatency,
+};
+pub use workloads::{SizeClass, Workload};
+
+/// ISA display label matching the paper's tables.
+pub fn isa_label(isa: IsaKind) -> &'static str {
+    match isa {
+        IsaKind::AArch64 => "AArch64",
+        IsaKind::RiscV => "RISC-V",
+    }
+}
+
+/// Execute a compiled program, streaming retirements through `observers`.
+///
+/// Returns the final CPU state and run statistics.
+pub fn execute(
+    compiled: &Compiled,
+    observers: &mut [&mut dyn Observer],
+) -> (CpuState, RunStats) {
+    let mut st = CpuState::new();
+    compiled.program.load(&mut st).expect("program loads");
+    let stats = match compiled.program.isa {
+        IsaKind::RiscV => EmulationCore::new(RiscVExecutor::new())
+            .run(&mut st, observers)
+            .expect("riscv run"),
+        IsaKind::AArch64 => EmulationCore::new(AArch64Executor::new())
+            .run(&mut st, observers)
+            .expect("aarch64 run"),
+    };
+    assert_eq!(stats.exit_code, 0, "workload must exit cleanly");
+    (st, stats)
+}
+
+/// Run the full measurement set for one (workload, ISA, compiler) cell:
+/// path length (total + per kernel), critical path, TX2-scaled critical
+/// path and the windowed critical path, in a single emulation pass.
+pub fn run_cell(
+    workload: Workload,
+    isa: IsaKind,
+    personality: &Personality,
+    size: SizeClass,
+) -> ExperimentCell {
+    let prog = workload.build(size);
+    let compiled = compile(&prog, isa, personality);
+
+    let mut pl = PathLength::new(&compiled.program.regions);
+    let mut cp = DualCriticalPath::new(Tx2Latency);
+    let mut wcp = WindowedCp::paper();
+    {
+        let mut obs: Vec<&mut dyn Observer> = vec![&mut pl, &mut cp, &mut wcp];
+        let (st, _stats) = execute(&compiled, &mut obs);
+        // Cross-check the guest checksum against the reference interpreter:
+        // every measured cell is also a correctness test.
+        let expected = interpret(&prog, personality).checksum;
+        let got = st.mem.read_f64(compiled.checksum_addr).expect("checksum readable");
+        assert_eq!(
+            got.to_bits(),
+            expected.to_bits(),
+            "{} on {}: checksum mismatch",
+            workload.name(),
+            isa_label(isa)
+        );
+    }
+
+    ExperimentCell {
+        workload: workload.name().to_string(),
+        compiler: personality.label().to_string(),
+        isa: isa_label(isa).to_string(),
+        path_length: pl.total(),
+        critical_path: cp.unit().critical_path,
+        scaled_cp: cp.scaled().critical_path,
+        kernels: pl.by_kernel(),
+        windows: wcp
+            .stats()
+            .iter()
+            .map(|s| (s.size, s.mean_cp(), s.mean_ilp()))
+            .collect(),
+    }
+}
+
+/// Run the paper's full experiment matrix: all five workloads x
+/// {GCC 9.2, GCC 12.2} x {AArch64, RISC-V}, in parallel with rayon.
+pub fn run_matrix(size: SizeClass) -> ResultMatrix {
+    run_matrix_for(&Workload::ALL, size)
+}
+
+/// Run the matrix for a subset of workloads.
+pub fn run_matrix_for(workloads: &[Workload], size: SizeClass) -> ResultMatrix {
+    let combos: Vec<(Workload, Personality, IsaKind)> = workloads
+        .iter()
+        .flat_map(|&w| {
+            [Personality::gcc92(), Personality::gcc122()]
+                .into_iter()
+                .flat_map(move |p| {
+                    [IsaKind::AArch64, IsaKind::RiscV].into_iter().map(move |isa| (w, p, isa))
+                })
+        })
+        .collect();
+    let mut cells: Vec<(usize, ExperimentCell)> = combos
+        .par_iter()
+        .enumerate()
+        .map(|(i, (w, p, isa))| (i, run_cell(*w, *isa, p, size)))
+        .collect();
+    cells.sort_by_key(|(i, _)| *i);
+    ResultMatrix { cells: cells.into_iter().map(|(_, c)| c).collect() }
+}
+
+/// Run a workload through a trace-driven pipeline model (experiment E7,
+/// the paper's Future Work). `dcache` optionally attaches an L1D model:
+/// `(geometry, miss penalty in cycles)`.
+pub fn run_pipeline_full(
+    workload: Workload,
+    isa: IsaKind,
+    personality: &Personality,
+    size: SizeClass,
+    config: PipelineConfig,
+    out_of_order: bool,
+    dcache: Option<(CacheConfig, u64)>,
+) -> PipelineStats {
+    let prog = workload.build(size);
+    let compiled = compile(&prog, isa, personality);
+    if out_of_order {
+        let mut core = OoOCore::new(Tx2Latency, config);
+        if let Some((cfg, penalty)) = dcache {
+            core = core.with_dcache(cfg, penalty);
+        }
+        let mut obs: Vec<&mut dyn Observer> = vec![&mut core];
+        execute(&compiled, &mut obs);
+        core.stats()
+    } else {
+        let mut core = InOrderCore::new(Tx2Latency, config);
+        if let Some((cfg, penalty)) = dcache {
+            core = core.with_dcache(cfg, penalty);
+        }
+        let mut obs: Vec<&mut dyn Observer> = vec![&mut core];
+        execute(&compiled, &mut obs);
+        core.stats()
+    }
+}
+
+/// [`run_pipeline_full`] with ideal (single-cycle-hit) memory — the
+/// configuration matching the paper's assumptions.
+pub fn run_pipeline(
+    workload: Workload,
+    isa: IsaKind,
+    personality: &Personality,
+    size: SizeClass,
+    config: PipelineConfig,
+    out_of_order: bool,
+) -> PipelineStats {
+    run_pipeline_full(workload, isa, personality, size, config, out_of_order, None)
+}
+
+/// Disassemble the instructions of a named kernel region (the paper's §3.3
+/// listing-level analysis). Returns `(pc, text)` pairs.
+pub fn disassemble_region(compiled: &Compiled, region: &str) -> Vec<(u64, String)> {
+    let program = &compiled.program;
+    let mut st = CpuState::new();
+    program.load(&mut st).expect("program loads");
+    let mut out = Vec::new();
+    for r in program.regions.iter().filter(|r| r.name == region) {
+        for pc in (r.start..r.end).step_by(4) {
+            let word = st.mem.read_u32(pc).expect("text mapped");
+            let text = match program.isa {
+                IsaKind::RiscV => RiscVExecutor::new().disassemble(word),
+                IsaKind::AArch64 => AArch64Executor::new().disassemble(word),
+            };
+            out.push((pc, text));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_cell_invariants() {
+        let cell = run_cell(
+            Workload::Stream,
+            IsaKind::RiscV,
+            &Personality::gcc122(),
+            SizeClass::Test,
+        );
+        assert!(cell.critical_path <= cell.path_length);
+        assert!(cell.scaled_cp >= cell.critical_path);
+        assert!(cell.ilp() >= 1.0);
+        let kernel_sum: u64 = cell.kernels.iter().map(|(_, c)| c).sum();
+        assert!(kernel_sum <= cell.path_length);
+        assert!(!cell.windows.is_empty());
+    }
+
+    #[test]
+    fn disassembly_of_stream_copy() {
+        let prog = Workload::Stream.build(SizeClass::Test);
+        let c = compile(&prog, IsaKind::AArch64, &Personality::gcc122());
+        let listing = disassemble_region(&c, "copy");
+        assert!(!listing.is_empty());
+        let text: String = listing.iter().map(|(_, t)| format!("{t}\n")).collect();
+        // The paper's Listing 1 register-offset idiom must appear.
+        assert!(text.contains("lsl #3"), "expected register-offset addressing:\n{text}");
+        assert!(text.contains("b.ne"), "loop back edge:\n{text}");
+    }
+
+    #[test]
+    fn matrix_runs_one_workload() {
+        let m = run_matrix_for(&[Workload::Stream], SizeClass::Test);
+        assert_eq!(m.cells.len(), 4);
+        assert!(m.get("STREAM", "gcc-9.2", "AArch64").is_some());
+        assert!(m.table1().contains("STREAM"));
+    }
+}

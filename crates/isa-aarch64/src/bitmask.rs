@@ -1,0 +1,201 @@
+//! A64 logical (bitmask) immediates.
+//!
+//! Logical immediate operands are encoded as `(N, immr, imms)` describing a
+//! repeating pattern of rotated runs of ones. This module implements both
+//! directions of the transformation as specified by the Arm ARM's
+//! `DecodeBitMasks` pseudocode.
+
+/// Decode `(n, immr, imms)` into the 64-bit (or 32-bit, replicated) mask.
+///
+/// Returns `None` for reserved encodings.
+pub fn decode_bitmask(sf: bool, n: u32, immr: u32, imms: u32) -> Option<u64> {
+    // Element size is determined by the highest set bit of (N : NOT(imms)).
+    let combined = ((n << 6) | (!imms & 0x3F)) & 0x7F;
+    if combined == 0 {
+        return None;
+    }
+    let esize = 1u32 << (31 - combined.leading_zeros());
+    if esize > 64 || (!sf && esize > 32) {
+        return None;
+    }
+    let levels = esize - 1;
+    let s = imms & levels;
+    let r = immr & levels;
+    if s == levels {
+        return None; // all-ones run is reserved
+    }
+    let ones = s + 1;
+    // Element: `ones` low bits set, rotated right by r.
+    let mut elem: u64 = if ones == 64 { u64::MAX } else { (1u64 << ones) - 1 };
+    if r != 0 {
+        let e = esize as u64;
+        elem = ((elem >> r) | (elem << (e as u32 - r))) & if esize == 64 { u64::MAX } else { (1u64 << esize) - 1 };
+    }
+    // Replicate to 64 bits.
+    let mut mask = 0u64;
+    let mut shift = 0;
+    while shift < 64 {
+        mask |= elem << shift;
+        shift += esize;
+    }
+    if !sf {
+        mask &= 0xFFFF_FFFF;
+    }
+    Some(mask)
+}
+
+/// Encode a value as a logical immediate, returning `(n, immr, imms)`.
+///
+/// Returns `None` if the value is not representable (e.g. 0, all-ones, or a
+/// non-repeating pattern).
+pub fn encode_bitmask(sf: bool, value: u64) -> Option<(u32, u32, u32)> {
+    let value = if sf { value } else { value & 0xFFFF_FFFF };
+    let width: u32 = if sf { 64 } else { 32 };
+    if !sf && value >> 32 != 0 {
+        return None;
+    }
+    // 0 and all-ones are not encodable.
+    let all = if sf { u64::MAX } else { 0xFFFF_FFFF };
+    if value == 0 || value == all {
+        return None;
+    }
+    // Find the smallest element size whose replication yields the value.
+    let mut esize = width;
+    let mut e = width / 2;
+    while e >= 2 {
+        let mask = if e == 64 { u64::MAX } else { (1u64 << e) - 1 };
+        let elem = value & mask;
+        // Check replication.
+        let mut reproduced = 0u64;
+        let mut shift = 0;
+        while shift < width {
+            reproduced |= elem << shift;
+            shift += e;
+        }
+        let full = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        if reproduced & full == value {
+            esize = e;
+        }
+        e /= 2;
+    }
+    let mask = if esize == 64 { u64::MAX } else { (1u64 << esize) - 1 };
+    let elem = value & mask;
+    // The element must be a rotated run of ones: count ones, find rotation.
+    let ones = elem.count_ones();
+    if ones == 0 || ones == esize {
+        return None;
+    }
+    // Rotate left until we get the canonical low-run form.
+    let rot_left = |v: u64, r: u32| -> u64 {
+        if r == 0 {
+            v & mask
+        } else {
+            ((v << r) | (v >> (esize - r))) & mask
+        }
+    };
+    let canonical = if ones == 64 { u64::MAX } else { (1u64 << ones) - 1 };
+    let mut r_found = None;
+    for r in 0..esize {
+        if rot_left(elem, r) == canonical {
+            // elem == canonical rotated right by r
+            r_found = Some(r);
+            break;
+        }
+    }
+    let r = r_found?;
+    let s = ones - 1;
+    let n: u32 = u32::from(esize == 64);
+    // imms top bits encode the element size: 0b0xxxxx style.
+    let imms = match esize {
+        64 => s,
+        32 => s,
+        16 => 0b100000 | s,
+        8 => 0b110000 | s,
+        4 => 0b111000 | s,
+        2 => 0b111100 | s,
+        _ => return None,
+    };
+    // For 32-bit element in sf=1 context imms is just s with pattern 0b0xxxxx
+    // (N=0). The esize is implied by the highest bit pattern; 64 needs N=1.
+    let imms = if esize == 32 { s & 0x1F } else { imms };
+    Some((n, r % esize, imms & 0x3F))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_simple_masks() {
+        for &v in &[
+            0xFFu64,
+            0xFF00,
+            0x0F0F_0F0F_0F0F_0F0F,
+            0x5555_5555_5555_5555,
+            0xFFFF_0000_FFFF_0000,
+            1,
+            0x8000_0000_0000_0000,
+            0x7FFF_FFFF_FFFF_FFFF,
+            0xFFFF_FFFF_0000_0000,
+            0x3FF8,
+        ] {
+            let (n, immr, imms) = encode_bitmask(true, v)
+                .unwrap_or_else(|| panic!("{v:#x} should be encodable"));
+            let back = decode_bitmask(true, n, immr, imms).unwrap();
+            assert_eq!(back, v, "round trip of {v:#x}");
+        }
+    }
+
+    #[test]
+    fn unencodable_values() {
+        assert!(encode_bitmask(true, 0).is_none());
+        assert!(encode_bitmask(true, u64::MAX).is_none());
+        assert!(encode_bitmask(true, 0xDEAD_BEEF).is_none(), "not a rotated run");
+        assert!(encode_bitmask(false, 0x1_0000_0000).is_none(), "out of 32-bit range");
+    }
+
+    #[test]
+    fn round_trip_32bit() {
+        for &v in &[0xFFu64, 0xFFFF_0000, 0x0000_FFFF, 0xF0F0_F0F0, 0x8000_0000] {
+            let (n, immr, imms) = encode_bitmask(false, v)
+                .unwrap_or_else(|| panic!("{v:#x} should be encodable (32-bit)"));
+            assert_eq!(n, 0, "32-bit immediates have N=0");
+            let back = decode_bitmask(false, n, immr, imms).unwrap();
+            assert_eq!(back, v, "round trip of {v:#x}");
+        }
+    }
+
+    #[test]
+    fn golden_decodings() {
+        // and x0, x0, #0xff -> N=1? No: 0xff = esize 64? GNU encodes 0xff as
+        // N=0, immr=0, imms=0b000111 with esize 8 replicated... decode both
+        // conventions and confirm the values match.
+        assert_eq!(decode_bitmask(true, 1, 0, 0b000111).unwrap(), 0xFF);
+        // 0x5555...55: esize 2, s=0, r=0 -> imms=0b111100.
+        assert_eq!(
+            decode_bitmask(true, 0, 0, 0b111100).unwrap(),
+            0x5555_5555_5555_5555
+        );
+    }
+
+    #[test]
+    fn exhaustive_encode_decode_consistency() {
+        // For every valid (n, immr, imms): decode then re-encode then
+        // re-decode must give the same mask.
+        let mut checked = 0;
+        for n in 0..=1u32 {
+            for immr in 0..64u32 {
+                for imms in 0..64u32 {
+                    if let Some(mask) = decode_bitmask(true, n, immr, imms) {
+                        let (n2, immr2, imms2) = encode_bitmask(true, mask)
+                            .unwrap_or_else(|| panic!("decoded mask {mask:#x} must re-encode"));
+                        let mask2 = decode_bitmask(true, n2, immr2, imms2).unwrap();
+                        assert_eq!(mask, mask2);
+                        checked += 1;
+                    }
+                }
+            }
+        }
+        assert!(checked > 1000, "should cover many encodings, got {checked}");
+    }
+}

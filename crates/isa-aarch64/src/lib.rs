@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+//! AArch64 (Armv8-a) scalar subset: binary encoder, decoder, assembler,
+//! disassembler and functional executor.
+//!
+//! This is the Arm half of the paper's comparison. The paper compiled with
+//! `-march=armv8-a+nosimd -mtune=cortex-a55`, i.e. the scalar A64
+//! instruction set with NEON disabled, so this crate implements the integer
+//! data-processing, load/store (including the register-offset and pre/post-
+//! indexed addressing modes whose path-length advantages §3.3 analyses),
+//! branch, and scalar floating-point instruction classes.
+//!
+//! Register 31 is context-dependent exactly as in the real encoding: the
+//! stack pointer for address operands and non-flag-setting immediate
+//! arithmetic, the zero register elsewhere. The NZCV flags are modelled as
+//! one extra register slot ([`simcore::RegId::Flags`]) so dependency
+//! analyses see `cmp` -> `b.ne` chains — the extra-instruction penalty for
+//! conditional branching the paper attributes to AArch64.
+
+pub mod asm;
+pub mod bitmask;
+pub mod decode;
+pub mod disasm;
+pub mod encode;
+pub mod exec;
+pub mod inst;
+
+pub use asm::A64Asm;
+pub use decode::decode;
+pub use disasm::disassemble;
+pub use encode::encode;
+pub use exec::AArch64Executor;
+pub use inst::*;

@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+//! RV64G (RV64IMAFD) instruction set: binary encoder, decoder, assembler,
+//! disassembler and functional executor.
+//!
+//! This is the RISC-V half of the paper's comparison. The paper compiled
+//! workloads with `-march=rv64g` (no compressed instructions, matching the
+//! paper's choice to omit the C extension since Armv8-a has no Thumb), so
+//! every instruction is a 32-bit word.
+//!
+//! The crate implements the full scalar user-level subset the workloads
+//! exercise plus everything needed for round-trip encode/decode property
+//! testing: RV64I, M (multiply/divide), A (atomics), and F/D scalar
+//! floating point.
+
+pub mod asm;
+pub mod decode;
+pub mod disasm;
+pub mod encode;
+pub mod exec;
+pub mod inst;
+
+pub use asm::RvAsm;
+pub use decode::decode;
+pub use disasm::disassemble;
+pub use encode::encode;
+pub use exec::RiscVExecutor;
+pub use inst::*;

@@ -1,0 +1,158 @@
+//! Shared kernel-analysis helpers used by both back-ends.
+
+use crate::ir::*;
+
+/// Walk every expression in a kernel body, visiting each [`Access`].
+pub(crate) fn for_each_access<'k>(k: &'k Kernel, f: &mut dyn FnMut(&'k Access)) {
+    fn walk<'e>(e: &'e Expr, f: &mut dyn FnMut(&'e Access)) {
+        match e {
+            Expr::Load(a) => f(a),
+            Expr::Un(_, a) => walk(a, f),
+            Expr::Bin(_, a, b) => {
+                walk(a, f);
+                walk(b, f);
+            }
+            Expr::MulAdd(a, b, c) => {
+                walk(a, f);
+                walk(b, f);
+                walk(c, f);
+            }
+            Expr::Select { cmp: _, a, b, t, e } => {
+                walk(a, f);
+                walk(b, f);
+                walk(t, f);
+                walk(e, f);
+            }
+            _ => {}
+        }
+    }
+    for s in &k.body {
+        match s {
+            Stmt::Def { expr, .. } => walk(expr, f),
+            Stmt::Store { access, value } => {
+                f(access);
+                walk(value, f);
+            }
+            Stmt::Accum { value, .. } => walk(value, f),
+        }
+    }
+}
+
+/// Collect every distinct constant (by bit pattern) in a kernel body.
+pub(crate) fn collect_consts(k: &Kernel, out: &mut Vec<u64>) {
+    fn walk(e: &Expr, out: &mut Vec<u64>) {
+        match e {
+            Expr::Const(v) => {
+                let b = v.to_bits();
+                if !out.contains(&b) {
+                    out.push(b);
+                }
+            }
+            Expr::Un(_, a) => walk(a, out),
+            Expr::Bin(_, a, b) => {
+                walk(a, out);
+                walk(b, out);
+            }
+            Expr::MulAdd(a, b, c) => {
+                walk(a, out);
+                walk(b, out);
+                walk(c, out);
+            }
+            Expr::Select { cmp: _, a, b, t, e } => {
+                walk(a, out);
+                walk(b, out);
+                walk(t, out);
+                walk(e, out);
+            }
+            _ => {}
+        }
+    }
+    for s in &k.body {
+        match s {
+            Stmt::Def { expr, .. } => walk(expr, out),
+            Stmt::Store { value, .. } => walk(value, out),
+            Stmt::Accum { value, .. } => walk(value, out),
+        }
+    }
+}
+
+/// Distinct arrays referenced by a kernel, in first-reference order.
+pub(crate) fn arrays_used(k: &Kernel) -> Vec<usize> {
+    let mut out: Vec<usize> = Vec::new();
+    for_each_access(k, &mut |a| {
+        if !out.contains(&a.arr.0) {
+            out.push(a.arr.0);
+        }
+    });
+    out
+}
+
+/// Inner-dimension stride of an array within a kernel (asserts consistency
+/// across accesses).
+pub(crate) fn inner_stride(k: &Kernel, arr: usize) -> i64 {
+    let mut stride: Option<i64> = None;
+    for_each_access(k, &mut |a| {
+        if a.arr.0 == arr {
+            let s = *a.strides.last().unwrap();
+            match stride {
+                None => stride = Some(s),
+                Some(prev) => assert_eq!(
+                    prev, s,
+                    "kernel {}: array accessed with differing inner strides",
+                    k.name
+                ),
+            }
+        }
+    });
+    stride.unwrap_or(0)
+}
+
+/// The (consistent) stride vector an array is accessed with in a kernel.
+pub(crate) fn access_strides(k: &Kernel, arr: usize) -> Vec<i64> {
+    let mut found: Option<Vec<i64>> = None;
+    for_each_access(k, &mut |a| {
+        if a.arr.0 == arr {
+            match &found {
+                None => found = Some(a.strides.clone()),
+                Some(prev) => assert_eq!(
+                    prev, &a.strides,
+                    "kernel {}: array accessed with differing stride vectors",
+                    k.name
+                ),
+            }
+        }
+    });
+    found.unwrap_or_else(|| vec![0; k.dims.len()])
+}
+
+/// Distinct `(array, offset)` pairs accessed, in first-reference order.
+pub(crate) fn distinct_access_sites(k: &Kernel) -> Vec<(usize, i64)> {
+    let mut out: Vec<(usize, i64)> = Vec::new();
+    for_each_access(k, &mut |a| {
+        let key = (a.arr.0, a.offset);
+        if !out.contains(&key) {
+            out.push(key);
+        }
+    });
+    out
+}
+
+/// Number of accesses (static sites, counting repeats) per array.
+pub(crate) fn access_counts(k: &Kernel) -> std::collections::HashMap<usize, usize> {
+    let mut out = std::collections::HashMap::new();
+    for_each_access(k, &mut |a| {
+        *out.entry(a.arr.0).or_insert(0) += 1;
+    });
+    out
+}
+
+/// Canonical (first-seen) constant offset per array: back-ends fold this
+/// into the array's cursor so stencil accesses use small *relative*
+/// offsets, exactly like GCC's induction-variable optimisation.
+pub(crate) fn canonical_offsets(k: &Kernel) -> std::collections::HashMap<usize, i64> {
+    let mut out = std::collections::HashMap::new();
+    for_each_access(k, &mut |a| {
+        out.entry(a.arr.0).or_insert(a.offset);
+    });
+    out
+}

@@ -1,0 +1,95 @@
+//! The single-cycle emulation core.
+
+use crate::error::SimError;
+use crate::observer::Observer;
+use crate::retire::RetiredInst;
+use crate::state::CpuState;
+
+/// Implemented by each ISA back-end: fetch, decode and execute exactly one
+/// instruction, mutating `state` and describing what happened.
+pub trait IsaExecutor {
+    /// Execute the instruction at `state.pc`, advance the PC, and return the
+    /// retirement record.
+    fn step(&self, state: &mut CpuState) -> Result<RetiredInst, SimError>;
+
+    /// Disassemble the 32-bit word at `pc` (for diagnostics and the paper's
+    /// listing-level analysis).
+    fn disassemble(&self, word: u32) -> String;
+
+    /// Short ISA name ("rv64g", "aarch64").
+    fn name(&self) -> &'static str;
+}
+
+/// Statistics from one emulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunStats {
+    /// Instructions retired (the paper's *path length*).
+    pub retired: u64,
+    /// Guest exit status.
+    pub exit_code: i64,
+}
+
+/// The paper's measurement vehicle: SimEng's "emulation core model which
+/// executes each instruction atomically to completion in a single cycle".
+///
+/// Runs a loaded [`CpuState`] until the guest exits, feeding every retired
+/// instruction to the supplied observers in program order.
+pub struct EmulationCore<E: IsaExecutor> {
+    exec: E,
+    /// Abort if this many instructions retire without the guest exiting.
+    max_insts: u64,
+}
+
+impl<E: IsaExecutor> EmulationCore<E> {
+    /// Default runaway-guest budget (no paper workload at our scaled sizes
+    /// exceeds a few hundred million instructions).
+    pub const DEFAULT_BUDGET: u64 = 5_000_000_000;
+
+    /// Create a core around an ISA executor.
+    pub fn new(exec: E) -> Self {
+        EmulationCore {
+            exec,
+            max_insts: Self::DEFAULT_BUDGET,
+        }
+    }
+
+    /// Override the instruction budget.
+    pub fn with_budget(mut self, max_insts: u64) -> Self {
+        self.max_insts = max_insts;
+        self
+    }
+
+    /// Access the underlying executor (e.g. for disassembly).
+    pub fn executor(&self) -> &E {
+        &self.exec
+    }
+
+    /// Run until the guest exits, pumping retirements through `observers`.
+    pub fn run(
+        &self,
+        state: &mut CpuState,
+        observers: &mut [&mut dyn Observer],
+    ) -> Result<RunStats, SimError> {
+        let mut retired: u64 = 0;
+        while state.exited.is_none() {
+            if retired >= self.max_insts {
+                return Err(SimError::InstructionBudgetExceeded {
+                    budget: self.max_insts,
+                });
+            }
+            let ri = self.exec.step(state)?;
+            retired += 1;
+            for obs in observers.iter_mut() {
+                obs.on_retire(&ri);
+            }
+        }
+        state.instret = retired;
+        for obs in observers.iter_mut() {
+            obs.on_finish();
+        }
+        Ok(RunStats {
+            retired,
+            exit_code: state.exited.unwrap_or(0),
+        })
+    }
+}

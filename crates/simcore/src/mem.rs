@@ -1,0 +1,232 @@
+//! Sparse, paged guest memory.
+//!
+//! Guest images are tiny compared with the 64-bit address space, so memory
+//! is a hash map of 4 KiB pages allocated on first write. Reads of unmapped
+//! memory are an error ([`crate::SimError::UnmappedRead`]) — this catches
+//! wild loads in generated code early, which proved valuable while bringing
+//! up the two ISA back-ends. All accesses are little-endian, matching both
+//! AArch64 (in its default configuration) and RISC-V.
+
+use std::collections::HashMap;
+
+use crate::error::SimError;
+
+/// Log2 of the page size.
+const PAGE_BITS: u32 = 12;
+/// Guest page size in bytes.
+pub const PAGE_SIZE: usize = 1 << PAGE_BITS;
+const OFFSET_MASK: u64 = (PAGE_SIZE as u64) - 1;
+
+/// Sparse paged memory with allocate-on-write semantics.
+#[derive(Default)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl Memory {
+    /// Create an empty memory image.
+    pub fn new() -> Self {
+        Memory::default()
+    }
+
+    /// Number of currently mapped pages.
+    pub fn mapped_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    #[inline]
+    fn page_of(addr: u64) -> u64 {
+        addr >> PAGE_BITS
+    }
+
+    /// Ensure the page containing `addr` exists, returning it mutably.
+    #[inline]
+    fn page_mut(&mut self, page: u64) -> &mut [u8; PAGE_SIZE] {
+        self.pages
+            .entry(page)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
+    }
+
+    #[inline]
+    fn page_ref(&self, page: u64) -> Option<&[u8; PAGE_SIZE]> {
+        self.pages.get(&page).map(|b| &**b)
+    }
+
+    /// Read `buf.len()` bytes starting at `addr`.
+    pub fn read_bytes(&self, addr: u64, buf: &mut [u8]) -> Result<(), SimError> {
+        let mut a = addr;
+        let mut done = 0usize;
+        while done < buf.len() {
+            let page = Self::page_of(a);
+            let off = (a & OFFSET_MASK) as usize;
+            let n = (PAGE_SIZE - off).min(buf.len() - done);
+            let p = self
+                .page_ref(page)
+                .ok_or(SimError::UnmappedRead { addr: a })?;
+            buf[done..done + n].copy_from_slice(&p[off..off + n]);
+            done += n;
+            a = a.wrapping_add(n as u64);
+        }
+        Ok(())
+    }
+
+    /// Write `buf` starting at `addr`, allocating pages as needed.
+    pub fn write_bytes(&mut self, addr: u64, buf: &[u8]) -> Result<(), SimError> {
+        let mut a = addr;
+        let mut done = 0usize;
+        while done < buf.len() {
+            let page = Self::page_of(a);
+            let off = (a & OFFSET_MASK) as usize;
+            let n = (PAGE_SIZE - off).min(buf.len() - done);
+            let p = self.page_mut(page);
+            p[off..off + n].copy_from_slice(&buf[done..done + n]);
+            done += n;
+            a = a.wrapping_add(n as u64);
+        }
+        Ok(())
+    }
+
+    /// Read an unsigned little-endian integer of `SIZE` bytes.
+    #[inline]
+    fn read_int<const SIZE: usize>(&self, addr: u64) -> Result<u64, SimError> {
+        let off = (addr & OFFSET_MASK) as usize;
+        if off + SIZE <= PAGE_SIZE {
+            let p = self
+                .page_ref(Self::page_of(addr))
+                .ok_or(SimError::UnmappedRead { addr })?;
+            let mut v = [0u8; 8];
+            v[..SIZE].copy_from_slice(&p[off..off + SIZE]);
+            Ok(u64::from_le_bytes(v))
+        } else {
+            let mut buf = [0u8; 8];
+            self.read_bytes(addr, &mut buf[..SIZE])?;
+            Ok(u64::from_le_bytes(buf))
+        }
+    }
+
+    /// Write the low `SIZE` bytes of `value` little-endian.
+    #[inline]
+    fn write_int<const SIZE: usize>(&mut self, addr: u64, value: u64) -> Result<(), SimError> {
+        let off = (addr & OFFSET_MASK) as usize;
+        let bytes = value.to_le_bytes();
+        if off + SIZE <= PAGE_SIZE {
+            let p = self.page_mut(Self::page_of(addr));
+            p[off..off + SIZE].copy_from_slice(&bytes[..SIZE]);
+            Ok(())
+        } else {
+            self.write_bytes(addr, &bytes[..SIZE])
+        }
+    }
+
+    /// Read one byte.
+    pub fn read_u8(&self, addr: u64) -> Result<u8, SimError> {
+        self.read_int::<1>(addr).map(|v| v as u8)
+    }
+
+    /// Read a little-endian `u16`.
+    pub fn read_u16(&self, addr: u64) -> Result<u16, SimError> {
+        self.read_int::<2>(addr).map(|v| v as u16)
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn read_u32(&self, addr: u64) -> Result<u32, SimError> {
+        self.read_int::<4>(addr).map(|v| v as u32)
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn read_u64(&self, addr: u64) -> Result<u64, SimError> {
+        self.read_int::<8>(addr)
+    }
+
+    /// Write one byte.
+    pub fn write_u8(&mut self, addr: u64, v: u8) -> Result<(), SimError> {
+        self.write_int::<1>(addr, v as u64)
+    }
+
+    /// Write a little-endian `u16`.
+    pub fn write_u16(&mut self, addr: u64, v: u16) -> Result<(), SimError> {
+        self.write_int::<2>(addr, v as u64)
+    }
+
+    /// Write a little-endian `u32`.
+    pub fn write_u32(&mut self, addr: u64, v: u32) -> Result<(), SimError> {
+        self.write_int::<4>(addr, v as u64)
+    }
+
+    /// Write a little-endian `u64`.
+    pub fn write_u64(&mut self, addr: u64, v: u64) -> Result<(), SimError> {
+        self.write_int::<8>(addr, v)
+    }
+
+    /// Read an `f64` stored little-endian.
+    pub fn read_f64(&self, addr: u64) -> Result<f64, SimError> {
+        self.read_u64(addr).map(f64::from_bits)
+    }
+
+    /// Write an `f64` little-endian.
+    pub fn write_f64(&mut self, addr: u64, v: f64) -> Result<(), SimError> {
+        self.write_u64(addr, v.to_bits())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rw_round_trip_all_widths() {
+        let mut m = Memory::new();
+        m.write_u8(0x1000, 0xAB).unwrap();
+        m.write_u16(0x1008, 0xBEEF).unwrap();
+        m.write_u32(0x1010, 0xDEADBEEF).unwrap();
+        m.write_u64(0x1018, 0x0123_4567_89AB_CDEF).unwrap();
+        assert_eq!(m.read_u8(0x1000).unwrap(), 0xAB);
+        assert_eq!(m.read_u16(0x1008).unwrap(), 0xBEEF);
+        assert_eq!(m.read_u32(0x1010).unwrap(), 0xDEADBEEF);
+        assert_eq!(m.read_u64(0x1018).unwrap(), 0x0123_4567_89AB_CDEF);
+    }
+
+    #[test]
+    fn unmapped_read_is_error() {
+        let m = Memory::new();
+        assert!(matches!(
+            m.read_u64(0x4000),
+            Err(SimError::UnmappedRead { addr: 0x4000 })
+        ));
+    }
+
+    #[test]
+    fn write_allocates_page_reads_back_zeroes() {
+        let mut m = Memory::new();
+        m.write_u8(0x2000, 1).unwrap();
+        // Rest of the freshly allocated page reads as zero.
+        assert_eq!(m.read_u64(0x2008).unwrap(), 0);
+        assert_eq!(m.mapped_pages(), 1);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = Memory::new();
+        let addr = (PAGE_SIZE as u64) - 3; // straddles page 0 / page 1
+        m.write_u64(addr, 0x1122_3344_5566_7788).unwrap();
+        assert_eq!(m.read_u64(addr).unwrap(), 0x1122_3344_5566_7788);
+        assert_eq!(m.mapped_pages(), 2);
+    }
+
+    #[test]
+    fn f64_round_trip() {
+        let mut m = Memory::new();
+        m.write_f64(0x3000, -1234.5e-3).unwrap();
+        assert_eq!(m.read_f64(0x3000).unwrap(), -1234.5e-3);
+    }
+
+    #[test]
+    fn bulk_bytes_round_trip() {
+        let mut m = Memory::new();
+        let data: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+        m.write_bytes(0xFF0, &data).unwrap();
+        let mut back = vec![0u8; data.len()];
+        m.read_bytes(0xFF0, &mut back).unwrap();
+        assert_eq!(back, data);
+    }
+}

@@ -1,0 +1,5 @@
+fn main() {
+    std::fs::write("configs/tx2.json", serde_json::to_string_pretty(&uarch::Tx2Latency::table()).unwrap()).unwrap();
+    std::fs::write("configs/a64fx.json", serde_json::to_string_pretty(&uarch::A64fxLatency::table()).unwrap()).unwrap();
+    println!("written");
+}

@@ -1,0 +1,27 @@
+//! The shipped SimEng-style config files must stay in sync with the
+//! built-in models (the paper's "/configs directory" equivalent).
+
+use std::path::Path;
+use uarch::{A64fxLatency, LatencyTable, Tx2Latency};
+
+fn configs_dir() -> std::path::PathBuf {
+    // Workspace root relative to this crate.
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../configs")
+}
+
+#[test]
+fn tx2_config_matches_builtin() {
+    let t = LatencyTable::from_json_file(&configs_dir().join("tx2.json")).unwrap();
+    assert_eq!(t, Tx2Latency::table());
+}
+
+#[test]
+fn a64fx_config_matches_builtin() {
+    let t = LatencyTable::from_json_file(&configs_dir().join("a64fx.json")).unwrap();
+    assert_eq!(t, A64fxLatency::table());
+}
+
+#[test]
+fn missing_file_is_a_clean_error() {
+    assert!(LatencyTable::from_json_file(Path::new("/nonexistent.json")).is_err());
+}

@@ -1,0 +1,32 @@
+//! Measure one workload cell at the paper's full parameters (used to fill
+//! EXPERIMENTS.md's paper-scale section; STREAM at N=10M x 10 iterations
+//! retires ~2.5G instructions).
+//!
+//! ```sh
+//! cargo run --release --example paper_scale_probe -- STREAM
+//! ```
+
+use isacmp::{run_cell, IsaKind, Personality, SizeClass, Workload};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "STREAM".into());
+    let w = Workload::ALL
+        .into_iter()
+        .find(|w| w.name().eq_ignore_ascii_case(&name))
+        .expect("workload name");
+    for isa in [IsaKind::AArch64, IsaKind::RiscV] {
+        let t = std::time::Instant::now();
+        let cell = run_cell(w, isa, &Personality::gcc122(), SizeClass::Paper);
+        println!(
+            "{} {}: path={} cp={} scaled={} ilp={:.0} runtime2GHz={:.2}ms wall={:.0}s",
+            cell.workload,
+            cell.isa,
+            cell.path_length,
+            cell.critical_path,
+            cell.scaled_cp,
+            cell.ilp(),
+            cell.runtime_ms(),
+            t.elapsed().as_secs_f64()
+        );
+    }
+}

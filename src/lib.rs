@@ -1,0 +1,4 @@
+//! Workspace root crate: hosts the runnable examples and the cross-crate
+//! integration tests. The public API lives in the [`isacmp`] facade crate.
+
+pub use isacmp;

@@ -1,0 +1,102 @@
+//! Integration: ELF round trips preserve measurement results, and the
+//! pipeline/cache extensions behave sensibly on real workloads.
+
+use isacmp::{
+    compile, execute, run_pipeline, run_pipeline_full, CacheConfig, CacheModel, CriticalPath,
+    IsaKind, Observer, PathLength, Personality, PipelineConfig, Program, SizeClass, Workload,
+};
+
+#[test]
+fn elf_round_trip_preserves_measurements() {
+    for isa in [IsaKind::AArch64, IsaKind::RiscV] {
+        let compiled = compile(&Workload::Stream.build(SizeClass::Test), isa, &Personality::gcc122());
+
+        // Direct run.
+        let mut pl_direct = PathLength::new(&compiled.program.regions);
+        execute(&compiled, &mut [&mut pl_direct]);
+
+        // Through ELF bytes.
+        let elf = compiled.program.to_elf();
+        let loaded = Program::from_elf(&elf).expect("parse own ELF");
+        assert_eq!(loaded.isa, isa);
+        assert_eq!(loaded.regions, compiled.program.regions, "region note survives");
+        let reloaded = isacmp::Compiled {
+            program: loaded,
+            checksum_addr: compiled.checksum_addr,
+            array_addrs: compiled.array_addrs.clone(),
+        };
+        let mut pl_elf = PathLength::new(&reloaded.program.regions);
+        let mut cp = CriticalPath::new();
+        let (st, _) = execute(&reloaded, &mut [&mut pl_elf, &mut cp]);
+
+        assert_eq!(pl_elf.total(), pl_direct.total(), "identical execution after round trip");
+        assert_eq!(pl_elf.by_kernel(), pl_direct.by_kernel());
+        assert!(st.mem.read_f64(reloaded.checksum_addr).unwrap().is_finite());
+    }
+}
+
+#[test]
+fn cached_pipeline_never_faster_than_ideal() {
+    for w in [Workload::Stream, Workload::CloverLeaf] {
+        for isa in [IsaKind::AArch64, IsaKind::RiscV] {
+            let p = Personality::gcc122();
+            let ideal = run_pipeline(w, isa, &p, SizeClass::Test, PipelineConfig::tx2(), true);
+            let cached = run_pipeline_full(
+                w,
+                isa,
+                &p,
+                SizeClass::Test,
+                PipelineConfig::tx2(),
+                true,
+                Some((CacheConfig::l1d_32k(), 100)),
+            );
+            assert!(
+                cached.cycles >= ideal.cycles,
+                "{} {}: cache made it faster? {} < {}",
+                w.name(),
+                isacmp::isa_label(isa),
+                cached.cycles,
+                ideal.cycles
+            );
+            assert_eq!(cached.retired, ideal.retired);
+        }
+    }
+}
+
+#[test]
+fn pipeline_configs_order_sanely() {
+    // More resources => never slower, for every workload and ISA.
+    let p = Personality::gcc122();
+    for w in Workload::ALL {
+        for isa in [IsaKind::AArch64, IsaKind::RiscV] {
+            let ino = run_pipeline(w, isa, &p, SizeClass::Test, PipelineConfig::a55(), false);
+            let tx2 = run_pipeline(w, isa, &p, SizeClass::Test, PipelineConfig::tx2(), true);
+            let fs = run_pipeline(w, isa, &p, SizeClass::Test, PipelineConfig::firestorm(), true);
+            assert!(tx2.cycles <= ino.cycles, "{}: TX2 {} > in-order {}", w.name(), tx2.cycles, ino.cycles);
+            assert!(fs.cycles <= tx2.cycles, "{}: Firestorm {} > TX2 {}", w.name(), fs.cycles, tx2.cycles);
+        }
+    }
+}
+
+#[test]
+fn cache_hit_rates_isa_symmetric() {
+    // The paper compares ISAs, not data layouts: identical kernels touch
+    // identical data, so L1D hit rates must match closely across ISAs.
+    for w in Workload::ALL {
+        let mut rates = Vec::new();
+        for isa in [IsaKind::AArch64, IsaKind::RiscV] {
+            let compiled = compile(&w.build(SizeClass::Test), isa, &Personality::gcc122());
+            let mut l1d = CacheModel::new(CacheConfig::l1d_32k());
+            {
+                let mut obs: Vec<&mut dyn Observer> = vec![&mut l1d];
+                execute(&compiled, &mut obs);
+            }
+            rates.push(l1d.stats().hit_rate());
+        }
+        assert!(
+            (rates[0] - rates[1]).abs() < 0.02,
+            "{}: hit rates diverge across ISAs: {rates:?}",
+            w.name()
+        );
+    }
+}
