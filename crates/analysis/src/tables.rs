@@ -4,10 +4,10 @@
 //! compiler, ISA) combination; a [`ResultMatrix`] formats the full set the
 //! way the paper reports it (Tables 1-2, Figures 1-2).
 
-use serde::{Deserialize, Serialize};
+use telemetry::Json;
 
 /// All measurements for one (workload, compiler, ISA) cell.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ExperimentCell {
     /// Workload name ("STREAM", ...).
     pub workload: String,
@@ -50,7 +50,7 @@ impl ExperimentCell {
 }
 
 /// The full experiment matrix plus formatters for every paper artefact.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ResultMatrix {
     /// All measured cells.
     pub cells: Vec<ExperimentCell>,
@@ -259,13 +259,111 @@ impl ResultMatrix {
     }
 
     /// Serialise the whole matrix as JSON (the artifact's `results/` role).
+    /// Tuples become arrays (`kernels: [["copy", 648], ...]`), matching the
+    /// shape of the checked-in `results/matrix.json`.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("matrix serialises")
+        Json::obj(vec![(
+            "cells",
+            Json::Arr(self.cells.iter().map(ExperimentCell::to_json_value).collect()),
+        )])
+        .pretty()
     }
 
     /// Parse a matrix back from JSON.
-    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(s)
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        let j = Json::parse(s)?;
+        let cells = j
+            .get("cells")
+            .and_then(Json::as_arr)
+            .ok_or("matrix: missing \"cells\" array")?;
+        Ok(ResultMatrix {
+            cells: cells.iter().map(ExperimentCell::from_json_value).collect::<Result<_, _>>()?,
+        })
+    }
+}
+
+impl ExperimentCell {
+    fn to_json_value(&self) -> Json {
+        Json::obj(vec![
+            ("workload", Json::Str(self.workload.clone())),
+            ("compiler", Json::Str(self.compiler.clone())),
+            ("isa", Json::Str(self.isa.clone())),
+            ("path_length", Json::Num(self.path_length as f64)),
+            ("critical_path", Json::Num(self.critical_path as f64)),
+            ("scaled_cp", Json::Num(self.scaled_cp as f64)),
+            (
+                "kernels",
+                Json::Arr(
+                    self.kernels
+                        .iter()
+                        .map(|(name, n)| {
+                            Json::Arr(vec![Json::Str(name.clone()), Json::Num(*n as f64)])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "windows",
+                Json::Arr(
+                    self.windows
+                        .iter()
+                        .map(|&(size, cp, ilp)| {
+                            Json::Arr(vec![
+                                Json::Num(size as f64),
+                                Json::Num(cp),
+                                Json::Num(ilp),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_json_value(j: &Json) -> Result<Self, String> {
+        let text = |key: &str| -> Result<String, String> {
+            j.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("cell: missing string field {key:?}"))
+        };
+        let int = |key: &str| -> Result<u64, String> {
+            j.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("cell: missing integer field {key:?}"))
+        };
+        let kernels = j
+            .get("kernels")
+            .and_then(Json::as_arr)
+            .ok_or("cell: missing \"kernels\"")?
+            .iter()
+            .map(|pair| {
+                let a = pair.as_arr().filter(|a| a.len() == 2)?;
+                Some((a[0].as_str()?.to_string(), a[1].as_u64()?))
+            })
+            .collect::<Option<Vec<_>>>()
+            .ok_or("cell: malformed \"kernels\" entry")?;
+        let windows = j
+            .get("windows")
+            .and_then(Json::as_arr)
+            .ok_or("cell: missing \"windows\"")?
+            .iter()
+            .map(|triple| {
+                let a = triple.as_arr().filter(|a| a.len() == 3)?;
+                Some((a[0].as_u64()? as usize, a[1].as_f64()?, a[2].as_f64()?))
+            })
+            .collect::<Option<Vec<_>>>()
+            .ok_or("cell: malformed \"windows\" entry")?;
+        Ok(ExperimentCell {
+            workload: text("workload")?,
+            compiler: text("compiler")?,
+            isa: text("isa")?,
+            path_length: int("path_length")?,
+            critical_path: int("critical_path")?,
+            scaled_cp: int("scaled_cp")?,
+            kernels,
+            windows,
+        })
     }
 }
 

@@ -8,6 +8,11 @@
 //! Experiments: `table1`, `table2`, `fig1`, `fig2`, `ablation`, `pipeline`,
 //! `all`. Figure data is written as CSV next to the printed tables; a full
 //! JSON dump of the result matrix is written to `results/matrix.json`.
+//!
+//! Options (any experiment):
+//! - `--metrics <path>`: write a structured telemetry report (per-stage
+//!   span timings, counters, cell wall-time histogram, host MIPS) as JSON.
+//! - `--progress[=N]`: emulation heartbeat on stderr every N retirements.
 
 use std::fs;
 
@@ -15,6 +20,10 @@ use isacmp::{
     compile, run_cell, run_matrix, run_pipeline, run_pipeline_full, CacheConfig, IsaKind,
     Personality, PipelineConfig, ResultMatrix, SizeClass, Workload,
 };
+
+fn parse_flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+}
 
 fn parse_size(args: &[String]) -> SizeClass {
     match args.iter().position(|a| a == "--size") {
@@ -270,6 +279,18 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let what = args.first().map(|s| s.as_str()).unwrap_or("all");
     let size = parse_size(&args);
+    let metrics_path = parse_flag_value(&args, "--metrics");
+    for a in &args {
+        if a == "--progress" {
+            std::env::set_var("ISACMP_PROGRESS", "1");
+        } else if let Some(n) = a.strip_prefix("--progress=") {
+            std::env::set_var("ISACMP_PROGRESS", n);
+        }
+    }
+
+    let tel = isacmp::telemetry::global();
+    let run_start = std::time::Instant::now();
+    let main_span = tel.enter(what);
 
     match what {
         "table1" => {
@@ -351,5 +372,20 @@ fn main() {
             );
             std::process::exit(2);
         }
+    }
+
+    drop(main_span);
+    if let Some(path) = metrics_path {
+        let retired = tel.counter("instructions_retired");
+        let report = isacmp::RunReport::new(&format!("make_tables {}", args.join(" ")))
+            .with_run(run_start.elapsed(), retired, None)
+            .finish_from(tel);
+        report
+            .write_file(std::path::Path::new(&path))
+            .unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+        eprintln!("telemetry report written to {path} ({})", report.summary());
     }
 }

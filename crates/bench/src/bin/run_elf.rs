@@ -7,21 +7,77 @@
 //! cargo run --release -p bench --bin make_tables -- elves --size small
 //! cargo run --release -p bench --bin run_elf -- results/bin/stream-gcc-12.2-riscv64.elf
 //! ```
+//!
+//! Options:
+//! - `--metrics <path>`: write a structured [`telemetry::RunReport`]
+//!   (stage spans, host MIPS, instruction-group mix, hot regions, an
+//!   observer-overhead estimate from a second bare run) as JSON.
+//! - `--progress[=N]`: heartbeat line on stderr every N retirements
+//!   (default 50M); also honoured via `ISACMP_PROGRESS=N`.
+//!
+//! Exits with the guest's exit code.
 
 use isacmp::{
     AArch64Executor, CpuState, DualCriticalPath, EmulationCore, IsaKind, Observer, PathLength,
-    Program, RiscVExecutor, Tx2Latency, WindowedCp,
+    Program, ProfilingObserver, RiscVExecutor, RunReport, Tx2Latency, WindowedCp,
 };
 
-fn main() {
-    let path = match std::env::args().nth(1) {
-        Some(p) => p,
-        None => {
-            eprintln!("usage: run_elf <binary.elf>");
-            std::process::exit(2);
+struct Args {
+    elf: String,
+    metrics: Option<String>,
+    progress: Option<u64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut elf = None;
+    let mut metrics = None;
+    let mut progress = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        if a == "--metrics" {
+            metrics = Some(it.next().ok_or("--metrics needs a path")?);
+        } else if a == "--progress" {
+            progress = Some(1);
+        } else if let Some(n) = a.strip_prefix("--progress=") {
+            progress = Some(n.parse::<u64>().map_err(|_| format!("bad --progress value {n:?}"))?);
+        } else if a.starts_with("--") {
+            return Err(format!("unknown flag {a:?}"));
+        } else if elf.is_none() {
+            elf = Some(a);
+        } else {
+            return Err(format!("unexpected argument {a:?}"));
         }
+    }
+    Ok(Args { elf: elf.ok_or("usage: run_elf <binary.elf> [--metrics out.json] [--progress[=N]]")?, metrics, progress })
+}
+
+fn run(
+    program: &Program,
+    obs: &mut [&mut dyn Observer],
+) -> Result<(CpuState, isacmp::RunStats), (String, u64, u64)> {
+    let mut st = CpuState::new();
+    program.load(&mut st).expect("load");
+    let result = match program.isa {
+        IsaKind::RiscV => EmulationCore::new(RiscVExecutor::new()).run(&mut st, obs),
+        IsaKind::AArch64 => EmulationCore::new(AArch64Executor::new()).run(&mut st, obs),
     };
-    let bytes = std::fs::read(&path).unwrap_or_else(|e| {
+    match result {
+        Ok(stats) => Ok((st, stats)),
+        Err(e) => Err((e.to_string(), st.pc, st.instret)),
+    }
+}
+
+fn main() {
+    let args = parse_args().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    if let Some(n) = args.progress {
+        // The emulation core reads this when constructed.
+        std::env::set_var("ISACMP_PROGRESS", n.to_string());
+    }
+    let path = &args.elf;
+    let bytes = std::fs::read(path).unwrap_or_else(|e| {
         eprintln!("cannot read {path}: {e}");
         std::process::exit(1);
     });
@@ -30,21 +86,21 @@ fn main() {
         std::process::exit(1);
     });
 
-    let mut st = CpuState::new();
-    program.load(&mut st).expect("load");
+    let tel = isacmp::telemetry::global();
     let mut pl = PathLength::new(&program.regions);
     let mut cp = DualCriticalPath::new(Tx2Latency);
     let mut wcp = WindowedCp::paper();
-    let mut obs: Vec<&mut dyn Observer> = vec![&mut pl, &mut cp, &mut wcp];
+    let mut profile = ProfilingObserver::new(&program.regions);
 
-    let stats = match program.isa {
-        IsaKind::RiscV => EmulationCore::new(RiscVExecutor::new()).run(&mut st, &mut obs),
-        IsaKind::AArch64 => EmulationCore::new(AArch64Executor::new()).run(&mut st, &mut obs),
-    }
-    .unwrap_or_else(|e| {
-        eprintln!("guest fault: {e} (pc={:#x})", st.pc);
-        std::process::exit(1);
-    });
+    let (st, stats) = {
+        let _span = tel.enter("emulate");
+        let mut obs: Vec<&mut dyn Observer> = vec![&mut pl, &mut cp, &mut wcp, &mut profile];
+        run(&program, &mut obs).unwrap_or_else(|(e, pc, instret)| {
+            eprintln!("guest fault: {e} (pc={pc:#x}, after {instret} retired instructions)");
+            std::process::exit(1);
+        })
+    };
+    tel.counter_add("instructions_retired", stats.retired);
 
     println!("{path}");
     println!("  isa          : {}", program.isa);
@@ -65,4 +121,35 @@ fn main() {
     if !st.output.is_empty() {
         println!("  guest output : {:?}", st.output_string());
     }
+
+    let mut report = RunReport::new(&format!("run_elf {path}"))
+        .with_run(stats.wall, stats.retired, Some(stats.exit_code as u64))
+        .with_profile(&profile);
+
+    if let Some(metrics_path) = &args.metrics {
+        // Calibration: time a bare observer-free run to estimate how much
+        // the analysis observers cost on top of raw emulation.
+        let bare = {
+            let _span = tel.enter("calibrate");
+            let mut none: Vec<&mut dyn Observer> = vec![];
+            run(&program, &mut none).ok().map(|(_, s)| s.wall)
+        };
+        if let Some(bare_wall) = bare {
+            if !bare_wall.is_zero() {
+                let pct = (stats.wall.as_secs_f64() / bare_wall.as_secs_f64() - 1.0) * 100.0;
+                report.observer_overhead_pct = Some(pct.max(0.0));
+            }
+        }
+        let report = report.finish_from(tel);
+        report.write_file(std::path::Path::new(metrics_path)).unwrap_or_else(|e| {
+            eprintln!("cannot write {metrics_path}: {e}");
+            std::process::exit(1);
+        });
+        println!("  metrics      : written to {metrics_path}");
+        println!("  run          : {}", report.summary());
+    } else {
+        println!("  run          : {}", report.summary());
+    }
+
+    std::process::exit(stats.exit_code as i32);
 }

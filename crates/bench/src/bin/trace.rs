@@ -8,6 +8,8 @@
 //! ```
 //!
 //! Arguments: `<workload> <isa> <compiler> [max-instructions] [region]`.
+//! Pass `--metrics <path>` to also write a telemetry report (compile/run
+//! spans, retired count, host MIPS) as JSON.
 
 use isacmp::{
     compile, AArch64Executor, CpuState, EmulationCore, IsaExecutor, IsaKind, Observer,
@@ -73,7 +75,17 @@ impl Observer for Tracer<'_> {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let metrics_path = args
+        .iter()
+        .position(|a| a == "--metrics")
+        .map(|i| {
+            let pair: Vec<String> = args.drain(i..(i + 2).min(args.len())).collect();
+            pair.get(1).cloned().unwrap_or_else(|| {
+                eprintln!("--metrics needs a path");
+                std::process::exit(2);
+            })
+        });
     if args.len() < 3 {
         eprintln!("usage: trace <workload> <riscv|aarch64> <gcc-9.2|gcc-12.2> [max] [region]");
         std::process::exit(2);
@@ -104,7 +116,9 @@ fn main() {
     let max: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(50);
     let region_name = args.get(4).cloned();
 
-    let compiled = compile(&workload.build(SizeClass::Test), isa, &personality);
+    let tel = isacmp::telemetry::global();
+    let run_start = std::time::Instant::now();
+    let compiled = tel.time("compile", || compile(&workload.build(SizeClass::Test), isa, &personality));
     let region = region_name.as_ref().map(|name| {
         let r = compiled
             .program
@@ -147,12 +161,31 @@ fn main() {
 
     let mut st = CpuState::new();
     compiled.program.load(&mut st).expect("load");
-    let mut obs: Vec<&mut dyn Observer> = vec![&mut tracer];
-    match isa {
-        IsaKind::RiscV => EmulationCore::new(isacmp::RiscVExecutor::new()).run(&mut st, &mut obs),
-        IsaKind::AArch64 => {
-            EmulationCore::new(AArch64Executor::new()).run(&mut st, &mut obs)
+    let stats = {
+        let _span = tel.enter("emulate");
+        let mut obs: Vec<&mut dyn Observer> = vec![&mut tracer];
+        match isa {
+            IsaKind::RiscV => {
+                EmulationCore::new(isacmp::RiscVExecutor::new()).run(&mut st, &mut obs)
+            }
+            IsaKind::AArch64 => EmulationCore::new(AArch64Executor::new()).run(&mut st, &mut obs),
         }
+        .expect("run")
+    };
+
+    if let Some(path) = metrics_path {
+        let report = isacmp::RunReport::new(&format!(
+            "trace {} {} {}",
+            workload.name(),
+            isacmp::isa_label(isa),
+            personality.label()
+        ))
+        .with_run(run_start.elapsed(), stats.retired, Some(stats.exit_code as u64))
+        .finish_from(tel);
+        report.write_file(std::path::Path::new(&path)).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("telemetry report written to {path} ({})", report.summary());
     }
-    .expect("run");
 }

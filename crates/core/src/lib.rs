@@ -24,8 +24,6 @@
 //! assert!(cell.critical_path <= cell.path_length);
 //! ```
 
-use rayon::prelude::*;
-
 pub use analysis::{
     runtime_ms, CpComposition, CpResult, CriticalPath, DepDistance, DualCriticalPath,
     ExperimentCell, InstMix, PathLength,
@@ -43,6 +41,8 @@ pub use uarch::{
     InOrderCore, LatencyModel, OoOCore,
     PipelineConfig, PipelineStats, Tx2Latency, UnitLatency,
 };
+pub use telemetry;
+pub use telemetry::{ProfilingObserver, RunReport};
 pub use workloads::{SizeClass, Workload};
 
 /// ISA display label matching the paper's tables.
@@ -60,6 +60,7 @@ pub fn execute(
     compiled: &Compiled,
     observers: &mut [&mut dyn Observer],
 ) -> (CpuState, RunStats) {
+    let _span = telemetry::global().enter("emulate");
     let mut st = CpuState::new();
     compiled.program.load(&mut st).expect("program loads");
     let stats = match compiled.program.isa {
@@ -71,6 +72,7 @@ pub fn execute(
             .expect("aarch64 run"),
     };
     assert_eq!(stats.exit_code, 0, "workload must exit cleanly");
+    telemetry::global().counter_add("instructions_retired", stats.retired);
     (st, stats)
 }
 
@@ -83,8 +85,12 @@ pub fn run_cell(
     personality: &Personality,
     size: SizeClass,
 ) -> ExperimentCell {
+    let tel = telemetry::global();
+    let _cell_span =
+        tel.enter(&format!("cell:{}/{}/{}", workload.name(), isa_label(isa), personality.label()));
+    let cell_start = std::time::Instant::now();
     let prog = workload.build(size);
-    let compiled = compile(&prog, isa, personality);
+    let compiled = tel.time("compile", || compile(&prog, isa, personality));
 
     let mut pl = PathLength::new(&compiled.program.regions);
     let mut cp = DualCriticalPath::new(Tx2Latency);
@@ -94,6 +100,7 @@ pub fn run_cell(
         let (st, _stats) = execute(&compiled, &mut obs);
         // Cross-check the guest checksum against the reference interpreter:
         // every measured cell is also a correctness test.
+        let _verify_span = tel.enter("verify");
         let expected = interpret(&prog, personality).checksum;
         let got = st.mem.read_f64(compiled.checksum_addr).expect("checksum readable");
         assert_eq!(
@@ -105,6 +112,8 @@ pub fn run_cell(
         );
     }
 
+    tel.counter_add("cells_run", 1);
+    tel.histogram_record("cell_wall_ms", cell_start.elapsed().as_millis() as u64);
     ExperimentCell {
         workload: workload.name().to_string(),
         compiler: personality.label().to_string(),
@@ -122,13 +131,15 @@ pub fn run_cell(
 }
 
 /// Run the paper's full experiment matrix: all five workloads x
-/// {GCC 9.2, GCC 12.2} x {AArch64, RISC-V}, in parallel with rayon.
+/// {GCC 9.2, GCC 12.2} x {AArch64, RISC-V}, cells in parallel across a
+/// scoped thread pool sized to the host.
 pub fn run_matrix(size: SizeClass) -> ResultMatrix {
     run_matrix_for(&Workload::ALL, size)
 }
 
 /// Run the matrix for a subset of workloads.
 pub fn run_matrix_for(workloads: &[Workload], size: SizeClass) -> ResultMatrix {
+    let _span = telemetry::global().enter("matrix");
     let combos: Vec<(Workload, Personality, IsaKind)> = workloads
         .iter()
         .flat_map(|&w| {
@@ -139,13 +150,34 @@ pub fn run_matrix_for(workloads: &[Workload], size: SizeClass) -> ResultMatrix {
                 })
         })
         .collect();
-    let mut cells: Vec<(usize, ExperimentCell)> = combos
-        .par_iter()
-        .enumerate()
-        .map(|(i, (w, p, isa))| (i, run_cell(*w, *isa, p, size)))
-        .collect();
-    cells.sort_by_key(|(i, _)| *i);
-    ResultMatrix { cells: cells.into_iter().map(|(_, c)| c).collect() }
+    let cells = par_map(&combos, |(w, p, isa)| run_cell(*w, *isa, p, size));
+    ResultMatrix { cells }
+}
+
+/// Map `f` over `items` on a scoped worker pool (one thread per available
+/// core, capped by the item count); results keep input order.
+fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(items.len());
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::new();
+    slots.resize_with(items.len(), || None);
+    let slots_mutex = std::sync::Mutex::new(&mut slots);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                slots_mutex.lock().unwrap()[i] = Some(r);
+            });
+        }
+    });
+    slots.into_iter().map(|r| r.expect("worker filled every slot")).collect()
 }
 
 /// Run a workload through a trace-driven pipeline model (experiment E7,

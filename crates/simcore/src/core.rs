@@ -1,5 +1,7 @@
 //! The single-cycle emulation core.
 
+use std::time::{Duration, Instant};
+
 use crate::error::SimError;
 use crate::observer::Observer;
 use crate::retire::RetiredInst;
@@ -27,6 +29,19 @@ pub struct RunStats {
     pub retired: u64,
     /// Guest exit status.
     pub exit_code: i64,
+    /// Host wall-clock time spent inside the run loop.
+    pub wall: Duration,
+}
+
+impl RunStats {
+    /// Host emulation rate in million instructions per second.
+    pub fn host_mips(&self) -> f64 {
+        if self.wall.is_zero() {
+            0.0
+        } else {
+            self.retired as f64 / self.wall.as_secs_f64() / 1e6
+        }
+    }
 }
 
 /// The paper's measurement vehicle: SimEng's "emulation core model which
@@ -34,10 +49,32 @@ pub struct RunStats {
 ///
 /// Runs a loaded [`CpuState`] until the guest exits, feeding every retired
 /// instruction to the supplied observers in program order.
+///
+/// When the `ISACMP_PROGRESS` environment variable is set to a retirement
+/// interval (or to `1` for the default of 50M), the core prints a heartbeat
+/// line to stderr every interval: instructions retired and host MIPS. The
+/// hot loop pays a single integer compare per retirement for this — the
+/// sentinel is `u64::MAX` when disabled, so the branch never takes.
 pub struct EmulationCore<E: IsaExecutor> {
     exec: E,
     /// Abort if this many instructions retire without the guest exiting.
     max_insts: u64,
+    /// Heartbeat interval in retirements; `u64::MAX` disables it.
+    progress_every: u64,
+}
+
+/// Default heartbeat interval when `ISACMP_PROGRESS` is set without a count.
+const DEFAULT_PROGRESS_INTERVAL: u64 = 50_000_000;
+
+fn progress_interval_from_env() -> u64 {
+    match std::env::var("ISACMP_PROGRESS") {
+        Ok(v) => match v.trim().parse::<u64>() {
+            Ok(0) | Err(_) => u64::MAX,
+            Ok(1) => DEFAULT_PROGRESS_INTERVAL,
+            Ok(n) => n,
+        },
+        Err(_) => u64::MAX,
+    }
 }
 
 impl<E: IsaExecutor> EmulationCore<E> {
@@ -50,6 +87,7 @@ impl<E: IsaExecutor> EmulationCore<E> {
         EmulationCore {
             exec,
             max_insts: Self::DEFAULT_BUDGET,
+            progress_every: progress_interval_from_env(),
         }
     }
 
@@ -59,28 +97,58 @@ impl<E: IsaExecutor> EmulationCore<E> {
         self
     }
 
+    /// Override the heartbeat interval (`u64::MAX` disables; normally taken
+    /// from `ISACMP_PROGRESS`).
+    pub fn with_progress(mut self, every: u64) -> Self {
+        self.progress_every = every.max(1);
+        self
+    }
+
     /// Access the underlying executor (e.g. for disassembly).
     pub fn executor(&self) -> &E {
         &self.exec
     }
 
     /// Run until the guest exits, pumping retirements through `observers`.
+    ///
+    /// On error, `state.instret` holds the retirement count reached and
+    /// `state.pc` the faulting program counter, so callers can report how
+    /// far the guest got.
     pub fn run(
         &self,
         state: &mut CpuState,
         observers: &mut [&mut dyn Observer],
     ) -> Result<RunStats, SimError> {
+        let start = Instant::now();
         let mut retired: u64 = 0;
+        let mut next_beat = self.progress_every;
         while state.exited.is_none() {
             if retired >= self.max_insts {
+                state.instret = retired;
                 return Err(SimError::InstructionBudgetExceeded {
                     budget: self.max_insts,
                 });
             }
-            let ri = self.exec.step(state)?;
+            let ri = match self.exec.step(state) {
+                Ok(ri) => ri,
+                Err(e) => {
+                    state.instret = retired;
+                    return Err(e);
+                }
+            };
             retired += 1;
             for obs in observers.iter_mut() {
                 obs.on_retire(&ri);
+            }
+            if retired == next_beat {
+                let secs = start.elapsed().as_secs_f64();
+                let mips = if secs > 0.0 { retired as f64 / secs / 1e6 } else { 0.0 };
+                eprintln!(
+                    "[{}] {retired} retired, {mips:.1} MIPS, pc={:#x}",
+                    self.exec.name(),
+                    state.pc
+                );
+                next_beat = next_beat.saturating_add(self.progress_every);
             }
         }
         state.instret = retired;
@@ -90,6 +158,7 @@ impl<E: IsaExecutor> EmulationCore<E> {
         Ok(RunStats {
             retired,
             exit_code: state.exited.unwrap_or(0),
+            wall: start.elapsed(),
         })
     }
 }

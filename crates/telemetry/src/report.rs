@@ -1,0 +1,209 @@
+//! Structured, serializable run reports.
+
+use std::io::Write;
+use std::path::Path;
+use std::time::Duration;
+
+use crate::json::Json;
+use crate::profile::ProfilingObserver;
+use crate::Telemetry;
+
+/// Everything one tool invocation wants to persist about itself: what ran,
+/// how long each stage took, how fast the guest executed, and (optionally) a
+/// guest profile. Serializes to/from JSON without any external crates.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// The command line (or a description of it) that produced this report.
+    pub command: String,
+    /// Total wall time of the run in milliseconds.
+    pub wall_ms: f64,
+    /// Guest instructions retired (summed over all cells for batch tools).
+    pub retired: u64,
+    /// Guest exit code, if a single guest ran.
+    pub exit_code: Option<u64>,
+    /// Host emulation rate in million instructions per second.
+    pub host_mips: f64,
+    /// Estimated observer overhead as a percentage of bare emulation time
+    /// (populated only when a calibration run was done).
+    pub observer_overhead_pct: Option<f64>,
+    /// Span tree from the global [`Timeline`](crate::Timeline).
+    pub spans: Json,
+    /// Snapshot of the global [`MetricsRegistry`](crate::MetricsRegistry).
+    pub metrics: Json,
+    /// Guest profile from a [`ProfilingObserver`], if one was attached.
+    pub profile: Option<Json>,
+    /// Free-form annotations.
+    pub notes: Vec<String>,
+}
+
+impl RunReport {
+    /// Report for `command`, everything else empty.
+    pub fn new(command: &str) -> Self {
+        RunReport {
+            command: command.to_string(),
+            spans: Json::Arr(Vec::new()),
+            metrics: Json::obj(vec![]),
+            ..Default::default()
+        }
+    }
+
+    /// Record the headline run numbers; MIPS is derived from `retired`/`wall`.
+    pub fn with_run(mut self, wall: Duration, retired: u64, exit_code: Option<u64>) -> Self {
+        self.wall_ms = wall.as_secs_f64() * 1e3;
+        self.retired = retired;
+        self.exit_code = exit_code;
+        self.host_mips = if wall.is_zero() {
+            0.0
+        } else {
+            retired as f64 / wall.as_secs_f64() / 1e6
+        };
+        self
+    }
+
+    /// Attach a guest profile (top 10 regions/buckets).
+    pub fn with_profile(mut self, profile: &ProfilingObserver) -> Self {
+        self.profile = Some(profile.to_json(10));
+        self
+    }
+
+    /// Pull the span tree and metrics snapshot out of `telemetry`
+    /// (typically [`crate::global()`]).
+    pub fn finish_from(mut self, telemetry: &Telemetry) -> Self {
+        self.spans = telemetry.timeline().to_json();
+        self.metrics = telemetry.metrics_json();
+        self
+    }
+
+    /// Add a free-form note.
+    pub fn note(mut self, s: &str) -> Self {
+        self.notes.push(s.to_string());
+        self
+    }
+
+    /// Full JSON object.
+    pub fn to_json(&self) -> Json {
+        let mut members = vec![
+            ("command", Json::Str(self.command.clone())),
+            ("wall_ms", Json::Num(self.wall_ms)),
+            ("retired", Json::Num(self.retired as f64)),
+            (
+                "exit_code",
+                match self.exit_code {
+                    Some(c) => Json::Num(c as f64),
+                    None => Json::Null,
+                },
+            ),
+            ("host_mips", Json::Num(self.host_mips)),
+        ];
+        if let Some(pct) = self.observer_overhead_pct {
+            members.push(("observer_overhead_pct", Json::Num(pct)));
+        }
+        members.push(("spans", self.spans.clone()));
+        members.push(("metrics", self.metrics.clone()));
+        if let Some(p) = &self.profile {
+            members.push(("profile", p.clone()));
+        }
+        members.push((
+            "notes",
+            Json::Arr(self.notes.iter().map(|n| Json::Str(n.clone())).collect()),
+        ));
+        Json::obj(members)
+    }
+
+    /// Parse a report previously written by [`RunReport::to_json`].
+    pub fn from_json(j: &Json) -> Option<Self> {
+        Some(RunReport {
+            command: j.get("command")?.as_str()?.to_string(),
+            wall_ms: j.get("wall_ms")?.as_f64()?,
+            retired: j.get("retired")?.as_u64()?,
+            exit_code: j.get("exit_code").and_then(Json::as_u64),
+            host_mips: j.get("host_mips")?.as_f64()?,
+            observer_overhead_pct: j.get("observer_overhead_pct").and_then(Json::as_f64),
+            spans: j.get("spans").cloned().unwrap_or(Json::Arr(Vec::new())),
+            metrics: j.get("metrics").cloned().unwrap_or(Json::obj(vec![])),
+            profile: j.get("profile").cloned(),
+            notes: j
+                .get("notes")
+                .and_then(Json::as_arr)
+                .map(|a| a.iter().filter_map(|n| n.as_str().map(str::to_string)).collect())
+                .unwrap_or_default(),
+        })
+    }
+
+    /// One-line human summary: wall time, retired count, MIPS.
+    pub fn summary(&self) -> String {
+        let mut s = format!(
+            "wall {:.1} ms | retired {} | {:.1} MIPS",
+            self.wall_ms,
+            crate::fmt_u64(self.retired),
+            self.host_mips
+        );
+        if let Some(c) = self.exit_code {
+            s.push_str(&format!(" | exit {c}"));
+        }
+        if let Some(pct) = self.observer_overhead_pct {
+            s.push_str(&format!(" | observer overhead ~{pct:.0}%"));
+        }
+        s
+    }
+
+    /// Write the pretty-printed report to `path`.
+    pub fn write_file(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_json().pretty().as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_json_parse_back() {
+        let report = RunReport::new("run_elf vec_add.elf")
+            .with_run(Duration::from_millis(250), 1_000_000, Some(0))
+            .note("test run");
+        let text = report.to_json().pretty();
+        let parsed = RunReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(parsed.command, "run_elf vec_add.elf");
+        assert_eq!(parsed.retired, 1_000_000);
+        assert_eq!(parsed.exit_code, Some(0));
+        assert!((parsed.wall_ms - 250.0).abs() < 1e-9);
+        assert!((parsed.host_mips - 4.0).abs() < 1e-9);
+        assert_eq!(parsed.notes, vec!["test run".to_string()]);
+    }
+
+    #[test]
+    fn mips_derivation_handles_zero_wall() {
+        let r = RunReport::new("x").with_run(Duration::ZERO, 100, None);
+        assert_eq!(r.host_mips, 0.0);
+        assert_eq!(r.exit_code, None);
+    }
+
+    #[test]
+    fn summary_mentions_headline_numbers() {
+        let mut r = RunReport::new("x").with_run(Duration::from_secs(1), 2_000_000, Some(3));
+        r.observer_overhead_pct = Some(12.0);
+        let s = r.summary();
+        assert!(s.contains("2.0 MIPS"), "{s}");
+        assert!(s.contains("exit 3"), "{s}");
+        assert!(s.contains("12%"), "{s}");
+    }
+
+    #[test]
+    fn write_file_round_trips() {
+        let dir = std::env::temp_dir().join("telemetry-report-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.json");
+        let report = RunReport::new("make_tables table1").with_run(
+            Duration::from_millis(10),
+            42,
+            None,
+        );
+        report.write_file(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let parsed = RunReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(parsed.retired, 42);
+        std::fs::remove_file(&path).ok();
+    }
+}

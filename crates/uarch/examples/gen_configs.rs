@@ -1,5 +1,5 @@
 fn main() {
-    std::fs::write("configs/tx2.json", serde_json::to_string_pretty(&uarch::Tx2Latency::table()).unwrap()).unwrap();
-    std::fs::write("configs/a64fx.json", serde_json::to_string_pretty(&uarch::A64fxLatency::table()).unwrap()).unwrap();
+    std::fs::write("configs/tx2.json", uarch::Tx2Latency::table().to_json().pretty()).unwrap();
+    std::fs::write("configs/a64fx.json", uarch::A64fxLatency::table().to_json().pretty()).unwrap();
     println!("written");
 }

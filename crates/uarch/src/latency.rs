@@ -1,7 +1,7 @@
 //! Instruction-class execution latencies.
 
-use serde::{Deserialize, Serialize};
 use simcore::InstGroup;
+use telemetry::Json;
 
 /// Maps an instruction group to its execution latency in cycles.
 pub trait LatencyModel {
@@ -27,7 +27,7 @@ impl LatencyModel for UnitLatency {
 
 /// A configurable latency table (the equivalent of SimEng's yaml
 /// `Latency` blocks; serialisable so experiments can ship their configs).
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LatencyTable {
     /// Model name.
     pub name: String,
@@ -180,11 +180,57 @@ impl LatencyModel for A64fxLatency {
     }
 }
 
+/// The numeric fields of [`LatencyTable`] in declaration order; expands
+/// `$m!(field, ...)` so the JSON code never drifts from the struct.
+macro_rules! latency_fields {
+    ($m:ident) => {
+        $m!(
+            int_alu, int_mul, int_div, shift, logical, branch, load, store, fp_add, fp_mul,
+            fp_fma, fp_div, fp_sqrt, fp_cmp, fp_cvt, fp_move, atomic, system
+        )
+    };
+}
+
 impl LatencyTable {
+    /// Serialize to the flat SimEng-style JSON object (`{"name": ...,
+    /// "int_alu": 1, ...}`) the `configs/` files use.
+    pub fn to_json(&self) -> Json {
+        let mut members = vec![("name".to_string(), Json::Str(self.name.clone()))];
+        macro_rules! put {
+            ($($f:ident),*) => {
+                $( members.push((stringify!($f).to_string(), Json::Num(self.$f as f64))); )*
+            };
+        }
+        latency_fields!(put);
+        Json::Obj(members)
+    }
+
+    /// Parse the object form written by [`LatencyTable::to_json`]; every
+    /// field must be present.
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        let field = |name: &str| -> Result<u64, String> {
+            j.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("latency table: missing or non-integer field {name:?}"))
+        };
+        let name = j
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("latency table: missing \"name\"")?
+            .to_string();
+        macro_rules! read {
+            ($($f:ident),*) => {
+                Ok(LatencyTable { name, $( $f: field(stringify!($f))?, )* })
+            };
+        }
+        latency_fields!(read)
+    }
+
     /// Load a latency table from a SimEng-style JSON config file.
     pub fn from_json_file(path: &std::path::Path) -> Result<Self, String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("{path:?}: {e}"))?;
-        serde_json::from_str(&text).map_err(|e| format!("{path:?}: {e}"))
+        let j = Json::parse(&text).map_err(|e| format!("{path:?}: {e}"))?;
+        Self::from_json(&j).map_err(|e| format!("{path:?}: {e}"))
     }
 }
 
@@ -220,8 +266,15 @@ mod tests {
     #[test]
     fn table_round_trips_through_json() {
         let t = Tx2Latency::table();
-        let json = serde_json::to_string(&t).unwrap();
-        let back: LatencyTable = serde_json::from_str(&json).unwrap();
+        let json = t.to_json().pretty();
+        let back = LatencyTable::from_json(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(back, t);
+    }
+
+    #[test]
+    fn from_json_rejects_missing_fields() {
+        let j = Json::parse(r#"{"name": "x", "int_alu": 1}"#).unwrap();
+        let err = LatencyTable::from_json(&j).unwrap_err();
+        assert!(err.contains("missing"), "{err}");
     }
 }

@@ -21,8 +21,33 @@
 
 use crate::SizeClass;
 use kernelgen::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+
+/// Deterministic SplitMix64 generator standing in for the input deck's
+/// randomness; checksums are verified interpreter-vs-emulator, so any
+/// reproducible stream works.
+struct DeckRng {
+    state: u64,
+}
+
+impl DeckRng {
+    fn new(seed: u64) -> Self {
+        DeckRng { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform f64 in `[lo, hi)`.
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+}
 
 /// miniBUDE parameters.
 #[derive(Debug, Clone, Copy)]
@@ -53,20 +78,20 @@ pub fn build(size: SizeClass) -> KernelProgram {
 /// Build miniBUDE with explicit parameters.
 pub fn build_with(params: BudeParams) -> KernelProgram {
     let BudeParams { nposes, npairs } = params;
-    let mut rng = StdRng::seed_from_u64(0xB0DE);
+    let mut rng = DeckRng::new(0xB0DE);
     let mut p = KernelProgram::new("miniBUDE");
 
     // Per-pair geometry (protein atom minus untransformed ligand atom) and
     // force-field parameters, precomputed on the host like the input deck.
-    let coord = |rng: &mut StdRng, n: u64, span: f64| -> Vec<f64> {
-        (0..n).map(|_| rng.gen_range(-span..span)).collect()
+    let coord = |rng: &mut DeckRng, n: u64, span: f64| -> Vec<f64> {
+        (0..n).map(|_| rng.range(-span, span)).collect()
     };
     let dx = p.array("pair_dx", npairs, ArrayInit::Values(coord(&mut rng, npairs, 8.0)));
     let dy = p.array("pair_dy", npairs, ArrayInit::Values(coord(&mut rng, npairs, 8.0)));
     let dz = p.array("pair_dz", npairs, ArrayInit::Values(coord(&mut rng, npairs, 8.0)));
-    let charge: Vec<f64> = (0..npairs).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let charge: Vec<f64> = (0..npairs).map(|_| rng.range(-1.0, 1.0)).collect();
     let charge = p.array("pair_charge", npairs, ArrayInit::Values(charge));
-    let radius: Vec<f64> = (0..npairs).map(|_| rng.gen_range(1.0..3.0)).collect();
+    let radius: Vec<f64> = (0..npairs).map(|_| rng.range(1.0, 3.0)).collect();
     let radius = p.array("pair_radius", npairs, ArrayInit::Values(radius));
 
     // Per-pose rigid-body displacement (stand-in for the pose rotation).
