@@ -49,11 +49,37 @@ impl ExperimentCell {
     }
 }
 
+/// Record of a cell that could not be measured: which combination failed,
+/// how (`kind` is one of the typed `CellError` kinds — "compile", "load",
+/// "sim", "panic", "checksum", "timeout"), and how hard the harness tried.
+/// Kept as plain strings so the analysis crate stays decoupled from the
+/// orchestration layer's error types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellFailure {
+    /// Workload name ("STREAM", ...).
+    pub workload: String,
+    /// Compiler label ("gcc-9.2" / "gcc-12.2").
+    pub compiler: String,
+    /// ISA label ("AArch64" / "RISC-V").
+    pub isa: String,
+    /// Failure kind, rendered as `ERR(<kind>)` in the tables.
+    pub kind: String,
+    /// Human-readable detail (the underlying error's display).
+    pub detail: String,
+    /// Retries spent before giving up on the cell.
+    pub retries: u64,
+}
+
 /// The full experiment matrix plus formatters for every paper artefact.
+/// A matrix may be *partial*: combinations that failed are carried in
+/// [`ResultMatrix::failures`] and render as `ERR(<kind>)` cells instead of
+/// discarding the run.
 #[derive(Debug, Clone, Default)]
 pub struct ResultMatrix {
-    /// All measured cells.
+    /// All successfully measured cells.
     pub cells: Vec<ExperimentCell>,
+    /// Combinations that failed (graceful-degradation record).
+    pub failures: Vec<CellFailure>,
 }
 
 impl ResultMatrix {
@@ -64,12 +90,38 @@ impl ResultMatrix {
             .find(|c| c.workload == workload && c.compiler == compiler && c.isa == isa)
     }
 
-    /// Distinct workloads in insertion order.
+    /// Look up a failure record.
+    pub fn get_failure(&self, workload: &str, compiler: &str, isa: &str) -> Option<&CellFailure> {
+        self.failures
+            .iter()
+            .find(|c| c.workload == workload && c.compiler == compiler && c.isa == isa)
+    }
+
+    /// True when every attempted cell was measured.
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// One line per failure, for operator-facing summaries.
+    pub fn failure_summary(&self) -> String {
+        self.failures
+            .iter()
+            .map(|f| {
+                format!(
+                    "ERR({}) {} {} {}: {} ({} retries)\n",
+                    f.kind, f.workload, f.compiler, f.isa, f.detail, f.retries
+                )
+            })
+            .collect()
+    }
+
+    /// Distinct workloads in insertion order (failed-only workloads
+    /// included, so partial tables still show every row).
     pub fn workloads(&self) -> Vec<String> {
         let mut out = Vec::new();
-        for c in &self.cells {
-            if !out.contains(&c.workload) {
-                out.push(c.workload.clone());
+        for w in self.cells.iter().map(|c| &c.workload).chain(self.failures.iter().map(|f| &f.workload)) {
+            if !out.contains(w) {
+                out.push(w.clone());
             }
         }
         out
@@ -77,9 +129,9 @@ impl ResultMatrix {
 
     fn compilers(&self) -> Vec<String> {
         let mut out = Vec::new();
-        for c in &self.cells {
-            if !out.contains(&c.compiler) {
-                out.push(c.compiler.clone());
+        for c in self.cells.iter().map(|c| &c.compiler).chain(self.failures.iter().map(|f| &f.compiler)) {
+            if !out.contains(c) {
+                out.push(c.clone());
             }
         }
         out
@@ -122,12 +174,16 @@ impl ResultMatrix {
         for w in self.workloads() {
             out.push_str(&format!("\n== {w} ==\n"));
             let mut header = format!("{:<22}", "");
-            let mut cols: Vec<&ExperimentCell> = Vec::new();
+            let mut cols: Vec<Result<&ExperimentCell, &CellFailure>> = Vec::new();
             for compiler in self.compilers() {
                 for isa in ["AArch64", "RISC-V"] {
-                    if let Some(c) = self.get(&w, &compiler, isa) {
+                    let col = match self.get(&w, &compiler, isa) {
+                        Some(c) => Some(Ok(c)),
+                        None => self.get_failure(&w, &compiler, isa).map(Err),
+                    };
+                    if let Some(col) = col {
                         header.push_str(&format!("{:>24}", format!("{compiler}/{isa}")));
-                        cols.push(c);
+                        cols.push(col);
                     }
                 }
             }
@@ -135,8 +191,12 @@ impl ResultMatrix {
             out.push('\n');
             for (label, f) in rows {
                 out.push_str(&format!("{label:<22}"));
-                for c in &cols {
-                    out.push_str(&format!("{:>24}", f(c)));
+                for col in &cols {
+                    let text = match col {
+                        Ok(c) => f(c),
+                        Err(fail) => format!("ERR({})", fail.kind),
+                    };
+                    out.push_str(&format!("{text:>24}"));
                 }
                 out.push('\n');
             }
@@ -260,24 +320,68 @@ impl ResultMatrix {
 
     /// Serialise the whole matrix as JSON (the artifact's `results/` role).
     /// Tuples become arrays (`kernels: [["copy", 648], ...]`), matching the
-    /// shape of the checked-in `results/matrix.json`.
+    /// shape of the checked-in `results/matrix.json`. Failed cells are
+    /// serialized under `"failures"` so a partial run is a first-class
+    /// artifact.
     pub fn to_json(&self) -> String {
-        Json::obj(vec![(
-            "cells",
-            Json::Arr(self.cells.iter().map(ExperimentCell::to_json_value).collect()),
-        )])
+        Json::obj(vec![
+            (
+                "cells",
+                Json::Arr(self.cells.iter().map(ExperimentCell::to_json_value).collect()),
+            ),
+            (
+                "failures",
+                Json::Arr(self.failures.iter().map(CellFailure::to_json_value).collect()),
+            ),
+        ])
         .pretty()
     }
 
-    /// Parse a matrix back from JSON.
+    /// Parse a matrix back from JSON. `"failures"` is optional, so
+    /// matrices written before the fault-tolerance layer still load.
     pub fn from_json(s: &str) -> Result<Self, String> {
         let j = Json::parse(s)?;
         let cells = j
             .get("cells")
             .and_then(Json::as_arr)
             .ok_or("matrix: missing \"cells\" array")?;
+        let failures = match j.get("failures").and_then(Json::as_arr) {
+            Some(arr) => arr.iter().map(CellFailure::from_json_value).collect::<Result<_, _>>()?,
+            None => Vec::new(),
+        };
         Ok(ResultMatrix {
             cells: cells.iter().map(ExperimentCell::from_json_value).collect::<Result<_, _>>()?,
+            failures,
+        })
+    }
+}
+
+impl CellFailure {
+    fn to_json_value(&self) -> Json {
+        Json::obj(vec![
+            ("workload", Json::Str(self.workload.clone())),
+            ("compiler", Json::Str(self.compiler.clone())),
+            ("isa", Json::Str(self.isa.clone())),
+            ("kind", Json::Str(self.kind.clone())),
+            ("detail", Json::Str(self.detail.clone())),
+            ("retries", Json::Num(self.retries as f64)),
+        ])
+    }
+
+    fn from_json_value(j: &Json) -> Result<Self, String> {
+        let text = |key: &str| -> Result<String, String> {
+            j.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("failure: missing string field {key:?}"))
+        };
+        Ok(CellFailure {
+            workload: text("workload")?,
+            compiler: text("compiler")?,
+            isa: text("isa")?,
+            kind: text("kind")?,
+            detail: text("detail")?,
+            retries: j.get("retries").and_then(Json::as_u64).unwrap_or(0),
         })
     }
 }
@@ -413,7 +517,28 @@ mod tests {
                 cell("STREAM", "gcc-12.2", "AArch64", 900, 100),
                 cell("STREAM", "gcc-12.2", "RISC-V", 1100, 100),
             ],
+            failures: Vec::new(),
         }
+    }
+
+    fn failure(w: &str, compiler: &str, isa: &str, kind: &str) -> CellFailure {
+        CellFailure {
+            workload: w.into(),
+            compiler: compiler.into(),
+            isa: isa.into(),
+            kind: kind.into(),
+            detail: format!("injected {kind}"),
+            retries: 1,
+        }
+    }
+
+    fn degraded() -> ResultMatrix {
+        let mut m = sample();
+        m.cells.retain(|c| !(c.compiler == "gcc-12.2" && c.isa == "RISC-V"));
+        m.failures.push(failure("STREAM", "gcc-12.2", "RISC-V", "timeout"));
+        // A workload where *every* cell failed must still appear.
+        m.failures.push(failure("LBM", "gcc-9.2", "AArch64", "panic"));
+        m
     }
 
     #[test]
@@ -480,6 +605,44 @@ mod tests {
         let back = ResultMatrix::from_json(&j).unwrap();
         assert_eq!(back.cells.len(), m.cells.len());
         assert_eq!(back.cells[0].path_length, 1000);
+        assert!(back.is_complete());
+    }
+
+    #[test]
+    fn partial_matrix_renders_err_cells() {
+        let m = degraded();
+        let t1 = m.table1();
+        assert!(t1.contains("ERR(timeout)"), "{t1}");
+        assert!(t1.contains("gcc-12.2/RISC-V"), "failed column keeps its header:\n{t1}");
+        assert!(t1.contains("1,000"), "healthy cells still render");
+        assert!(t1.contains("== LBM =="), "all-failed workload still has a section:\n{t1}");
+        assert!(t1.contains("ERR(panic)"), "{t1}");
+        assert!(!m.is_complete());
+        assert_eq!(m.get_failure("STREAM", "gcc-12.2", "RISC-V").unwrap().kind, "timeout");
+        let summary = m.failure_summary();
+        assert!(summary.contains("ERR(timeout) STREAM gcc-12.2 RISC-V"), "{summary}");
+    }
+
+    #[test]
+    fn failures_round_trip_through_json() {
+        let m = degraded();
+        let back = ResultMatrix::from_json(&m.to_json()).unwrap();
+        assert_eq!(back.failures.len(), 2);
+        let f = back.get_failure("STREAM", "gcc-12.2", "RISC-V").unwrap();
+        assert_eq!(f.kind, "timeout");
+        assert_eq!(f.detail, "injected timeout");
+        assert_eq!(f.retries, 1);
+        assert_eq!(back.cells.len(), 3);
+    }
+
+    #[test]
+    fn pre_fault_tolerance_json_still_parses() {
+        // matrix.json files written before the failures field existed.
+        let legacy = sample().to_json().replace(",\n  \"failures\": []", "");
+        assert!(!legacy.contains("failures"));
+        let back = ResultMatrix::from_json(&legacy).unwrap();
+        assert_eq!(back.cells.len(), 4);
+        assert!(back.failures.is_empty());
     }
 
     #[test]

@@ -13,12 +13,23 @@
 //! - `--metrics <path>`: write a structured telemetry report (per-stage
 //!   span timings, counters, cell wall-time histogram, host MIPS) as JSON.
 //! - `--progress[=N]`: emulation heartbeat on stderr every N retirements.
+//!
+//! Fault tolerance (matrix experiments):
+//! - `--strict`: exit 3 if any matrix cell failed (default: degrade to a
+//!   partial matrix with `ERR(<kind>)` cells and exit 0).
+//! - `--deadline-secs <s>`: per-cell wall-clock watchdog.
+//! - `--retries <n>`: per-cell retries for retryable failures (default 1,
+//!   hard-capped at 3).
+//! - `--inject <workload/compiler/isa:fault>`: deterministically inject a
+//!   fault into matching cells, e.g. `STREAM/gcc-12.2/RISC-V:trap@1000`
+//!   (fault grammar: `trap@N`, `fetch@N[:MASK]`, `read@N[:BIT]`).
 
 use std::fs;
 
 use isacmp::{
-    compile, run_cell, run_matrix, run_pipeline, run_pipeline_full, CacheConfig, IsaKind,
-    Personality, PipelineConfig, ResultMatrix, SizeClass, Workload,
+    compile, run_cell, run_matrix_opts, run_pipeline, run_pipeline_full, CacheConfig,
+    ExperimentCell, InjectSpec, IsaKind, MatrixOptions, Personality, PipelineConfig, ResultMatrix,
+    SizeClass, Workload,
 };
 
 fn parse_flag_value(args: &[String], flag: &str) -> Option<String> {
@@ -40,11 +51,63 @@ fn parse_size(args: &[String]) -> SizeClass {
     }
 }
 
-fn matrix(size: SizeClass) -> ResultMatrix {
+/// Build the matrix fault-tolerance options from the CLI.
+fn parse_matrix_opts(args: &[String]) -> MatrixOptions {
+    let deadline = parse_flag_value(args, "--deadline-secs").map(|s| {
+        let secs: f64 = s.parse().unwrap_or_else(|_| {
+            eprintln!("bad --deadline-secs value {s:?}: expected seconds");
+            std::process::exit(2);
+        });
+        std::time::Duration::from_secs_f64(secs)
+    });
+    // One retry by default: transient upsets (the kind fault injection
+    // emulates) get a second chance; deterministic failures never retry.
+    let retries = match parse_flag_value(args, "--retries") {
+        Some(s) => s.parse().unwrap_or_else(|_| {
+            eprintln!("bad --retries value {s:?}: expected a small integer");
+            std::process::exit(2);
+        }),
+        None => 1,
+    };
+    let inject = parse_flag_value(args, "--inject").map(|s| {
+        InjectSpec::parse(&s).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        })
+    });
+    MatrixOptions { deadline, retries, inject }
+}
+
+/// `fs::write` with an actionable diagnostic instead of a panic.
+fn write_out(path: &str, contents: impl AsRef<[u8]>) {
+    fs::write(path, contents).unwrap_or_else(|e| {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    });
+}
+
+/// Measure one standalone cell (ablation rows); a failure here is fatal
+/// but reported with its typed kind rather than a panic trace.
+fn cell_or_die(w: Workload, isa: IsaKind, p: &Personality, size: SizeClass) -> ExperimentCell {
+    run_cell(w, isa, p, size).unwrap_or_else(|e| {
+        eprintln!("ERR({}) {} on {}: {e}", e.kind(), w.name(), isacmp::isa_label(isa));
+        std::process::exit(1);
+    })
+}
+
+fn matrix(size: SizeClass, opts: &MatrixOptions) -> ResultMatrix {
     eprintln!("running the experiment matrix (5 workloads x 2 compilers x 2 ISAs) ...");
-    let m = run_matrix(size);
+    let m = run_matrix_opts(&Workload::ALL, size, opts);
+    if !m.is_complete() {
+        eprint!(
+            "{} of {} cells failed (degraded matrix):\n{}",
+            m.failures.len(),
+            m.cells.len() + m.failures.len(),
+            m.failure_summary()
+        );
+    }
     fs::create_dir_all("results").ok();
-    fs::write("results/matrix.json", m.to_json()).expect("write results/matrix.json");
+    write_out("results/matrix.json", m.to_json());
     m
 }
 
@@ -67,9 +130,10 @@ fn ablation(size: SizeClass) -> String {
         ("RISC-V gcc-12.2 (fused compare-branch)", IsaKind::RiscV, base),
         ("RISC-V - fused compare-branch", IsaKind::RiscV, nofuse),
     ];
-    let baseline = run_cell(Workload::Stream, IsaKind::AArch64, &base, size).path_length as f64;
+    let baseline =
+        cell_or_die(Workload::Stream, IsaKind::AArch64, &base, size).path_length as f64;
     for (label, isa, p) in rows {
-        let cell = run_cell(Workload::Stream, isa, &p, size);
+        let cell = cell_or_die(Workload::Stream, isa, &p, size);
         out.push_str(&format!(
             "{label:<44} {:>12}  ({:+.1}% vs AArch64 gcc-12.2)\n",
             cell.path_length,
@@ -83,8 +147,8 @@ fn ablation(size: SizeClass) -> String {
     out.push_str("\nOffset-folding ablation (minisweep, RISC-V)\n");
     let mut unfolded = Personality::gcc122();
     unfolded.fold_const_offsets = false;
-    let folded_cell = run_cell(Workload::Minisweep, IsaKind::RiscV, &Personality::gcc122(), size);
-    let unfolded_cell = run_cell(Workload::Minisweep, IsaKind::RiscV, &unfolded, size);
+    let folded_cell = cell_or_die(Workload::Minisweep, IsaKind::RiscV, &Personality::gcc122(), size);
+    let unfolded_cell = cell_or_die(Workload::Minisweep, IsaKind::RiscV, &unfolded, size);
     out.push_str(&format!(
         "{:<44} {:>12}\n{:<44} {:>12}  ({:+.1}%)\n",
         "folded offsets (gcc-12.2)",
@@ -208,10 +272,18 @@ fn pipeline(size: SizeClass) -> String {
     out
 }
 
-fn check(size: SizeClass) -> String {
+fn check(size: SizeClass, opts: &MatrixOptions) -> String {
     // Automated verification of the paper's qualitative findings (the
     // EXPERIMENTS.md tables, executable). Exit status reflects the verdict.
-    let m = run_matrix(size);
+    let m = run_matrix_opts(&Workload::ALL, size, opts);
+    if !m.is_complete() {
+        eprint!(
+            "shape checks need a complete matrix; {} cells failed:\n{}",
+            m.failures.len(),
+            m.failure_summary()
+        );
+        std::process::exit(1);
+    }
     let mut out = String::from("Paper-shape checks (see EXPERIMENTS.md)\n");
     let mut ok = true;
     let mut check = |label: &str, pass: bool, detail: String| {
@@ -219,7 +291,7 @@ fn check(size: SizeClass) -> String {
         ok &= pass;
     };
 
-    let cell = |w: &str, c: &str, i: &str| m.get(w, c, i).expect("cell").clone();
+    let cell = |w: &str, c: &str, i: &str| m.get(w, c, i).expect("complete matrix").clone();
 
     // E1: compiler deltas on STREAM.
     let (a92, a122) = (cell("STREAM", "gcc-9.2", "AArch64"), cell("STREAM", "gcc-12.2", "AArch64"));
@@ -280,6 +352,8 @@ fn main() {
     let what = args.first().map(|s| s.as_str()).unwrap_or("all");
     let size = parse_size(&args);
     let metrics_path = parse_flag_value(&args, "--metrics");
+    let matrix_opts = parse_matrix_opts(&args);
+    let strict = args.iter().any(|a| a == "--strict");
     for a in &args {
         if a == "--progress" {
             std::env::set_var("ISACMP_PROGRESS", "1");
@@ -292,31 +366,38 @@ fn main() {
     let run_start = std::time::Instant::now();
     let main_span = tel.enter(what);
 
+    // Failed matrix cells seen by any experiment this run; under
+    // `--strict` they flip the exit code (after results and the metrics
+    // report are written).
+    let mut failed_cells = 0usize;
+    let mut matrix = |size| {
+        let m = matrix(size, &matrix_opts);
+        failed_cells += m.failures.len();
+        m
+    };
+
     match what {
         "table1" => {
             let m = matrix(size);
-            fs::write("results/basicCPResult.txt", m.cp_result_txt(false))
-                .expect("write basicCPResult.txt");
+            write_out("results/basicCPResult.txt", m.cp_result_txt(false));
             println!("{}", m.table1());
         }
         "table2" => {
             let m = matrix(size);
-            fs::write("results/scaledCPResult.txt", m.cp_result_txt(true))
-                .expect("write scaledCPResult.txt");
+            write_out("results/scaledCPResult.txt", m.cp_result_txt(true));
             println!("{}", m.table2());
         }
         "fig1" => {
             let m = matrix(size);
-            fs::write("results/fig1.csv", m.fig1_csv()).expect("write fig1.csv");
+            write_out("results/fig1.csv", m.fig1_csv());
             println!("{}", m.fig1_csv());
             eprintln!("written to results/fig1.csv");
         }
         "fig2" => {
             let m = matrix(size);
-            fs::write("results/fig2.csv", m.fig2_csv()).expect("write fig2.csv");
-            fs::write("results/fig2.gnuplot", m.fig2_gnuplot()).expect("write fig2.gnuplot");
-            fs::write("results/windowAverages.txt", m.window_averages_txt())
-                .expect("write windowAverages.txt");
+            write_out("results/fig2.csv", m.fig2_csv());
+            write_out("results/fig2.gnuplot", m.fig2_gnuplot());
+            write_out("results/windowAverages.txt", m.window_averages_txt());
             println!("{}", m.fig2_csv());
             eprintln!(
                 "written to results/fig2.csv (+ fig2.gnuplot, windowAverages.txt)"
@@ -326,7 +407,10 @@ fn main() {
         "elves" => {
             // Emit every (workload, compiler, ISA) binary as a static ELF —
             // the equivalent of the paper artifact's precompiled binaries.
-            fs::create_dir_all("results/bin").expect("mkdir results/bin");
+            fs::create_dir_all("results/bin").unwrap_or_else(|e| {
+                eprintln!("cannot create results/bin: {e}");
+                std::process::exit(1);
+            });
             for w in Workload::ALL {
                 for p in [Personality::gcc92(), Personality::gcc122()] {
                     for (isa, tag) in [(IsaKind::AArch64, "aarch64"), (IsaKind::RiscV, "riscv64")]
@@ -337,7 +421,7 @@ fn main() {
                             w.name().to_lowercase(),
                             p.label()
                         );
-                        fs::write(&path, c.program.to_elf()).expect("write elf");
+                        write_out(&path, c.program.to_elf());
                         println!("{path}");
                     }
                 }
@@ -345,20 +429,17 @@ fn main() {
         }
         "pipeline" => println!("{}", pipeline(size)),
         "mix" => println!("{}", mix(size)),
-        "check" => println!("{}", check(size)),
+        "check" => println!("{}", check(size, &matrix_opts)),
         "all" => {
             let m = matrix(size);
-            fs::write("results/basicCPResult.txt", m.cp_result_txt(false))
-                .expect("write basicCPResult.txt");
-            fs::write("results/scaledCPResult.txt", m.cp_result_txt(true))
-                .expect("write scaledCPResult.txt");
+            write_out("results/basicCPResult.txt", m.cp_result_txt(false));
+            write_out("results/scaledCPResult.txt", m.cp_result_txt(true));
             println!("{}", m.table1());
             println!("{}", m.table2());
-            fs::write("results/fig1.csv", m.fig1_csv()).expect("write fig1.csv");
-            fs::write("results/fig2.csv", m.fig2_csv()).expect("write fig2.csv");
-            fs::write("results/fig2.gnuplot", m.fig2_gnuplot()).expect("write fig2.gnuplot");
-            fs::write("results/windowAverages.txt", m.window_averages_txt())
-                .expect("write windowAverages.txt");
+            write_out("results/fig1.csv", m.fig1_csv());
+            write_out("results/fig2.csv", m.fig2_csv());
+            write_out("results/fig2.gnuplot", m.fig2_gnuplot());
+            write_out("results/windowAverages.txt", m.window_averages_txt());
             eprintln!(
                 "figure data written to results/fig1.csv, fig2.csv, fig2.gnuplot, windowAverages.txt"
             );
@@ -387,5 +468,9 @@ fn main() {
                 std::process::exit(1);
             });
         eprintln!("telemetry report written to {path} ({})", report.summary());
+    }
+    if strict && failed_cells > 0 {
+        eprintln!("--strict: {failed_cells} matrix cell(s) failed");
+        std::process::exit(3);
     }
 }

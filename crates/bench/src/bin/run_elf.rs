@@ -14,24 +14,35 @@
 //!   observer-overhead estimate from a second bare run) as JSON.
 //! - `--progress[=N]`: heartbeat line on stderr every N retirements
 //!   (default 50M); also honoured via `ISACMP_PROGRESS=N`.
+//! - `--deadline-secs <s>`: wall-clock watchdog; a trip exits 124.
+//! - `--inject <fault>`: deterministic fault injection (`trap@N`,
+//!   `fetch@N[:MASK]`, `read@N[:BIT]`).
 //!
-//! Exits with the guest's exit code.
+//! Exits with the guest's exit code (124 on a watchdog trip).
 
 use isacmp::{
-    AArch64Executor, CpuState, DualCriticalPath, EmulationCore, IsaKind, Observer, PathLength,
-    Program, ProfilingObserver, RiscVExecutor, RunReport, Tx2Latency, WindowedCp,
+    AArch64Executor, CpuState, DualCriticalPath, EmulationCore, FaultPlan, IsaKind, Observer,
+    PathLength, Program, ProfilingObserver, RiscVExecutor, RunReport, SimError, Tx2Latency,
+    WindowedCp,
 };
+
+/// Exit code for a watchdog trip, matching the `timeout(1)` convention.
+const EXIT_TIMEOUT: i32 = 124;
 
 struct Args {
     elf: String,
     metrics: Option<String>,
     progress: Option<u64>,
+    deadline: Option<std::time::Duration>,
+    inject: Option<FaultPlan>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut elf = None;
     let mut metrics = None;
     let mut progress = None;
+    let mut deadline = None;
+    let mut inject = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         if a == "--metrics" {
@@ -40,6 +51,14 @@ fn parse_args() -> Result<Args, String> {
             progress = Some(1);
         } else if let Some(n) = a.strip_prefix("--progress=") {
             progress = Some(n.parse::<u64>().map_err(|_| format!("bad --progress value {n:?}"))?);
+        } else if a == "--deadline-secs" {
+            let s = it.next().ok_or("--deadline-secs needs a value")?;
+            let secs: f64 =
+                s.parse().map_err(|_| format!("bad --deadline-secs value {s:?}"))?;
+            deadline = Some(std::time::Duration::from_secs_f64(secs));
+        } else if a == "--inject" {
+            let s = it.next().ok_or("--inject needs a fault spec")?;
+            inject = Some(FaultPlan::parse(&s)?);
         } else if a.starts_with("--") {
             return Err(format!("unknown flag {a:?}"));
         } else if elf.is_none() {
@@ -48,22 +67,52 @@ fn parse_args() -> Result<Args, String> {
             return Err(format!("unexpected argument {a:?}"));
         }
     }
-    Ok(Args { elf: elf.ok_or("usage: run_elf <binary.elf> [--metrics out.json] [--progress[=N]]")?, metrics, progress })
+    Ok(Args {
+        elf: elf.ok_or(
+            "usage: run_elf <binary.elf> [--metrics out.json] [--progress[=N]] \
+             [--deadline-secs s] [--inject fault]",
+        )?,
+        metrics,
+        progress,
+        deadline,
+        inject,
+    })
+}
+
+enum RunFailure {
+    Load(SimError),
+    Guest { err: SimError, pc: u64, instret: u64 },
 }
 
 fn run(
     program: &Program,
     obs: &mut [&mut dyn Observer],
-) -> Result<(CpuState, isacmp::RunStats), (String, u64, u64)> {
+    deadline: Option<std::time::Duration>,
+    inject: Option<&FaultPlan>,
+) -> Result<(CpuState, isacmp::RunStats), RunFailure> {
+    fn core_for<E: isacmp::IsaExecutor>(
+        exec: E,
+        deadline: Option<std::time::Duration>,
+        inject: Option<&FaultPlan>,
+    ) -> EmulationCore<E> {
+        let mut core = EmulationCore::new(exec);
+        if let Some(d) = deadline {
+            core = core.with_deadline(d);
+        }
+        if let Some(plan) = inject {
+            core = core.with_injector(Box::new(plan.clone()));
+        }
+        core
+    }
     let mut st = CpuState::new();
-    program.load(&mut st).expect("load");
+    program.load(&mut st).map_err(RunFailure::Load)?;
     let result = match program.isa {
-        IsaKind::RiscV => EmulationCore::new(RiscVExecutor::new()).run(&mut st, obs),
-        IsaKind::AArch64 => EmulationCore::new(AArch64Executor::new()).run(&mut st, obs),
+        IsaKind::RiscV => core_for(RiscVExecutor::new(), deadline, inject).run(&mut st, obs),
+        IsaKind::AArch64 => core_for(AArch64Executor::new(), deadline, inject).run(&mut st, obs),
     };
     match result {
         Ok(stats) => Ok((st, stats)),
-        Err(e) => Err((e.to_string(), st.pc, st.instret)),
+        Err(err) => Err(RunFailure::Guest { err, pc: st.pc, instret: st.instret }),
     }
 }
 
@@ -92,11 +141,24 @@ fn main() {
     let mut wcp = WindowedCp::paper();
     let mut profile = ProfilingObserver::new(&program.regions);
 
+    if let Some(plan) = &args.inject {
+        eprintln!("fault injection armed: {}", plan.describe());
+    }
     let (st, stats) = {
         let _span = tel.enter("emulate");
         let mut obs: Vec<&mut dyn Observer> = vec![&mut pl, &mut cp, &mut wcp, &mut profile];
-        run(&program, &mut obs).unwrap_or_else(|(e, pc, instret)| {
-            eprintln!("guest fault: {e} (pc={pc:#x}, after {instret} retired instructions)");
+        run(&program, &mut obs, args.deadline, args.inject.as_ref()).unwrap_or_else(|f| {
+            match f {
+                RunFailure::Load(e) => eprintln!("cannot load {path}: {e}"),
+                RunFailure::Guest { err, pc, instret } => {
+                    eprintln!(
+                        "guest fault: {err} (pc={pc:#x}, after {instret} retired instructions)"
+                    );
+                    if err.is_watchdog() {
+                        std::process::exit(EXIT_TIMEOUT);
+                    }
+                }
+            }
             std::process::exit(1);
         })
     };
@@ -129,10 +191,12 @@ fn main() {
     if let Some(metrics_path) = &args.metrics {
         // Calibration: time a bare observer-free run to estimate how much
         // the analysis observers cost on top of raw emulation.
+        // The bare run is deliberately watchdog- and fault-free: it only
+        // measures raw emulation speed.
         let bare = {
             let _span = tel.enter("calibrate");
             let mut none: Vec<&mut dyn Observer> = vec![];
-            run(&program, &mut none).ok().map(|(_, s)| s.wall)
+            run(&program, &mut none, None, None).ok().map(|(_, s)| s.wall)
         };
         if let Some(bare_wall) = bare {
             if !bare_wall.is_zero() {

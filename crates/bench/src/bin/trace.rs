@@ -160,7 +160,10 @@ fn main() {
     }
 
     let mut st = CpuState::new();
-    compiled.program.load(&mut st).expect("load");
+    compiled.program.load(&mut st).unwrap_or_else(|e| {
+        eprintln!("cannot load {} image: {e}", workload.name());
+        std::process::exit(1);
+    });
     let stats = {
         let _span = tel.enter("emulate");
         let mut obs: Vec<&mut dyn Observer> = vec![&mut tracer];
@@ -170,7 +173,13 @@ fn main() {
             }
             IsaKind::AArch64 => EmulationCore::new(AArch64Executor::new()).run(&mut st, &mut obs),
         }
-        .expect("run")
+        .unwrap_or_else(|e| {
+            eprintln!(
+                "guest fault: {e} (pc={:#x}, after {} retired instructions)",
+                st.pc, st.instret
+            );
+            std::process::exit(1);
+        })
     };
 
     if let Some(path) = metrics_path {

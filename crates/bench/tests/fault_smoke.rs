@@ -1,0 +1,81 @@
+//! Smoke-test the `make_tables` binary's fault tolerance: with one cell
+//! deterministically faulted, the run still completes, prints the other
+//! cells, marks the faulty one `ERR(<kind>)`, records the failure in the
+//! metrics report, and only `--strict` flips the exit code.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Run `make_tables` with `args` in a fresh scratch directory (the binary
+/// writes `results/` into its cwd). Returns (exit code, stdout, stderr).
+fn make_tables(scratch: &str, args: &[&str]) -> (i32, String, String) {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(scratch);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let out = Command::new(env!("CARGO_BIN_EXE_make_tables"))
+        .args(args)
+        .current_dir(&dir)
+        .output()
+        .expect("make_tables runs");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+const INJECT: &str = "STREAM/gcc-12.2/RISC-V:trap@1000";
+
+#[test]
+fn injected_fault_degrades_gracefully() {
+    let (code, stdout, stderr) = make_tables(
+        "degrade",
+        &["table1", "--size", "test", "--inject", INJECT, "--metrics", "metrics.json"],
+    );
+    assert_eq!(code, 0, "degraded run still exits 0 without --strict:\n{stderr}");
+
+    // The faulty cell is marked, the other 19 still populate.
+    assert!(stdout.contains("ERR(sim)"), "stdout should mark the faulted cell:\n{stdout}");
+    for w in ["STREAM", "LBM", "minisweep", "miniBUDE", "CloverLeaf"] {
+        assert!(stdout.contains(w), "table should still include {w}:\n{stdout}");
+    }
+    assert!(stderr.contains("1 of 20 cells failed"), "stderr summary:\n{stderr}");
+
+    // The failure and the retry spent on it land in the metrics report.
+    let metrics = std::fs::read_to_string(
+        PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("degrade/metrics.json"),
+    )
+    .expect("metrics.json written");
+    assert!(metrics.contains("cells_failed"), "metrics: {metrics}");
+    assert!(metrics.contains("cell_retries"), "metrics: {metrics}");
+    assert!(metrics.contains("faults_injected"), "metrics: {metrics}");
+
+    // matrix.json carries the typed failure record.
+    let matrix = std::fs::read_to_string(
+        PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("degrade/results/matrix.json"),
+    )
+    .expect("matrix.json written");
+    assert!(matrix.contains("\"failures\""), "matrix.json: {matrix}");
+    assert!(matrix.contains("injected fault"), "matrix.json: {matrix}");
+}
+
+#[test]
+fn strict_flips_the_exit_code() {
+    let (code, _stdout, stderr) =
+        make_tables("strict", &["table1", "--size", "test", "--inject", INJECT, "--strict"]);
+    assert_eq!(code, 3, "--strict must fail the run on a degraded matrix:\n{stderr}");
+    assert!(stderr.contains("--strict"), "stderr explains the exit:\n{stderr}");
+}
+
+#[test]
+fn healthy_strict_run_passes() {
+    let (code, stdout, _stderr) = make_tables("healthy", &["table1", "--size", "test", "--strict"]);
+    assert_eq!(code, 0);
+    assert!(!stdout.contains("ERR("), "no failures expected:\n{stdout}");
+}
+
+#[test]
+fn bad_inject_spec_is_a_usage_error() {
+    let (code, _stdout, stderr) =
+        make_tables("badspec", &["table1", "--size", "test", "--inject", "nonsense"]);
+    assert_eq!(code, 2, "malformed --inject is a usage error:\n{stderr}");
+}

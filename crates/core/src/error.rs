@@ -1,0 +1,300 @@
+//! Typed per-cell errors and the options that control fault tolerance.
+//!
+//! One experiment cell can fail in six distinct ways — at compile time, at
+//! load time, during emulation, by panicking, by producing a wrong
+//! checksum, or by tripping a watchdog — and the matrix must survive all
+//! of them: a failed cell becomes an `ERR(<kind>)` entry in a partial
+//! [`ResultMatrix`](analysis::ResultMatrix) instead of killing the other
+//! nineteen cells.
+
+use std::time::Duration;
+
+use analysis::CellFailure;
+use simcore::{FaultPlan, SimError};
+
+/// Why one (workload, compiler, ISA) cell failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellError {
+    /// The workload builder or compiler panicked.
+    Compile {
+        /// Panic payload (or other diagnostic).
+        msg: String,
+    },
+    /// The compiled program image could not be loaded into guest memory.
+    Load(SimError),
+    /// The guest faulted during emulation (decode error, unmapped read,
+    /// forced trap, ...). `instret` is how far the guest got.
+    Sim {
+        /// The underlying simulation error.
+        err: SimError,
+        /// Instructions retired when the error was raised.
+        instret: u64,
+    },
+    /// The emulator or an observer panicked mid-run (caught, not fatal).
+    Panic {
+        /// Panic payload.
+        msg: String,
+    },
+    /// The guest ran to completion but its checksum disagrees with the
+    /// reference interpreter — silent corruption, caught.
+    ChecksumMismatch {
+        /// Reference checksum bits (`f64::to_bits`).
+        expected_bits: u64,
+        /// Measured checksum bits.
+        got_bits: u64,
+    },
+    /// A watchdog fired: instruction budget or wall-clock deadline.
+    Timeout {
+        /// The watchdog error ([`SimError::is_watchdog`] is true).
+        err: SimError,
+        /// Instructions retired when the watchdog fired.
+        instret: u64,
+    },
+    /// The guest exited with a non-zero status.
+    NonZeroExit {
+        /// The guest's exit code.
+        code: i64,
+    },
+}
+
+impl CellError {
+    /// Short failure class, rendered as `ERR(<kind>)` in tables.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CellError::Compile { .. } => "compile",
+            CellError::Load(_) => "load",
+            CellError::Sim { .. } => "sim",
+            CellError::Panic { .. } => "panic",
+            CellError::ChecksumMismatch { .. } => "checksum",
+            CellError::Timeout { .. } => "timeout",
+            CellError::NonZeroExit { .. } => "exit",
+        }
+    }
+
+    /// Whether retrying the cell could plausibly help. Runtime upsets
+    /// (faults, panics, corruption) are retried; deterministic failures
+    /// (compile, load, watchdogs, exit status) are not — they would only
+    /// burn the same wall time again.
+    pub fn retryable(&self) -> bool {
+        matches!(
+            self,
+            CellError::Sim { .. } | CellError::Panic { .. } | CellError::ChecksumMismatch { .. }
+        )
+    }
+
+    /// Convert to the serializable failure record carried by a partial
+    /// [`analysis::ResultMatrix`].
+    pub fn to_failure(
+        &self,
+        workload: &str,
+        compiler: &str,
+        isa: &str,
+        retries: u64,
+    ) -> CellFailure {
+        CellFailure {
+            workload: workload.to_string(),
+            compiler: compiler.to_string(),
+            isa: isa.to_string(),
+            kind: self.kind().to_string(),
+            detail: self.to_string(),
+            retries,
+        }
+    }
+}
+
+impl std::fmt::Display for CellError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CellError::Compile { msg } => write!(f, "compile failed: {msg}"),
+            CellError::Load(e) => write!(f, "program load failed: {e}"),
+            CellError::Sim { err, instret } => {
+                write!(f, "guest fault after {instret} retirements: {err}")
+            }
+            CellError::Panic { msg } => write!(f, "panic during emulation: {msg}"),
+            CellError::ChecksumMismatch { expected_bits, got_bits } => write!(
+                f,
+                "checksum mismatch: expected {:#018x}, got {:#018x}",
+                expected_bits, got_bits
+            ),
+            CellError::Timeout { err, instret } => {
+                write!(f, "watchdog after {instret} retirements: {err}")
+            }
+            CellError::NonZeroExit { code } => write!(f, "guest exited with code {code}"),
+        }
+    }
+}
+
+impl std::error::Error for CellError {}
+
+/// Render a caught panic payload as text.
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Hard cap on per-cell retries, whatever the caller asks for.
+pub const MAX_CELL_RETRIES: u32 = 3;
+
+/// Fault-tolerance knobs for a single cell run.
+#[derive(Debug, Clone, Default)]
+pub struct CellOptions {
+    /// Wall-clock watchdog for the emulation phase.
+    pub deadline: Option<Duration>,
+    /// Retries for [`CellError::retryable`] failures (clamped to
+    /// [`MAX_CELL_RETRIES`]).
+    pub retries: u32,
+    /// Deterministic fault to inject into the run.
+    pub fault: Option<FaultPlan>,
+}
+
+impl CellOptions {
+    /// Retries actually granted (caller's ask, capped).
+    pub fn effective_retries(&self) -> u32 {
+        self.retries.min(MAX_CELL_RETRIES)
+    }
+}
+
+/// Selects cells of the experiment matrix, e.g. for targeted fault
+/// injection. Fields compare case-insensitively; `*` matches anything.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellSelector {
+    /// Workload name or `*`.
+    pub workload: String,
+    /// Compiler label or `*`.
+    pub compiler: String,
+    /// ISA label or `*`.
+    pub isa: String,
+}
+
+impl CellSelector {
+    /// Parse `workload/compiler/isa` (e.g. `STREAM/gcc-12.2/RISC-V`,
+    /// `*/gcc-9.2/*`).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let parts: Vec<&str> = s.split('/').collect();
+        match parts.as_slice() {
+            [w, c, i] if !w.is_empty() && !c.is_empty() && !i.is_empty() => Ok(CellSelector {
+                workload: w.to_string(),
+                compiler: c.to_string(),
+                isa: i.to_string(),
+            }),
+            _ => Err(format!(
+                "bad cell selector {s:?}: expected workload/compiler/isa (\"*\" wildcards ok)"
+            )),
+        }
+    }
+
+    /// Does this selector match the labelled cell?
+    pub fn matches(&self, workload: &str, compiler: &str, isa: &str) -> bool {
+        let eq = |pat: &str, v: &str| pat == "*" || pat.eq_ignore_ascii_case(v);
+        eq(&self.workload, workload) && eq(&self.compiler, compiler) && eq(&self.isa, isa)
+    }
+}
+
+/// A targeted injection: which cell, and what fault.
+#[derive(Debug, Clone)]
+pub struct InjectSpec {
+    /// Which matrix cell(s) receive the fault.
+    pub selector: CellSelector,
+    /// The deterministic fault to inject there.
+    pub plan: FaultPlan,
+}
+
+impl InjectSpec {
+    /// Parse `workload/compiler/isa:faultspec`, e.g.
+    /// `STREAM/gcc-12.2/RISC-V:trap@1000`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let (sel, spec) = s.split_once(':').ok_or_else(|| {
+            format!("bad inject spec {s:?}: expected workload/compiler/isa:<fault>")
+        })?;
+        Ok(InjectSpec { selector: CellSelector::parse(sel)?, plan: FaultPlan::parse(spec)? })
+    }
+}
+
+/// Fault-tolerance knobs for a whole matrix run.
+#[derive(Debug, Clone, Default)]
+pub struct MatrixOptions {
+    /// Per-cell wall-clock watchdog.
+    pub deadline: Option<Duration>,
+    /// Per-cell retries for retryable failures (clamped to
+    /// [`MAX_CELL_RETRIES`]).
+    pub retries: u32,
+    /// Targeted deterministic fault injection.
+    pub inject: Option<InjectSpec>,
+}
+
+impl MatrixOptions {
+    /// The per-cell options for one labelled cell (attaching the injected
+    /// fault when the selector matches).
+    pub fn cell_options(&self, workload: &str, compiler: &str, isa: &str) -> CellOptions {
+        let fault = self.inject.as_ref().and_then(|i| {
+            i.selector.matches(workload, compiler, isa).then(|| i.plan.clone())
+        });
+        CellOptions { deadline: self.deadline, retries: self.retries, fault }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_retryability() {
+        let sim = CellError::Sim { err: SimError::MisalignedPc { pc: 2 }, instret: 7 };
+        assert_eq!(sim.kind(), "sim");
+        assert!(sim.retryable());
+        let timeout = CellError::Timeout {
+            err: SimError::WallClockExceeded { limit_ms: 5, retired: 9 },
+            instret: 9,
+        };
+        assert_eq!(timeout.kind(), "timeout");
+        assert!(!timeout.retryable(), "watchdogs are deterministic, no retry");
+        assert!(!CellError::Compile { msg: "x".into() }.retryable());
+        assert!(CellError::ChecksumMismatch { expected_bits: 1, got_bits: 2 }.retryable());
+    }
+
+    #[test]
+    fn failure_record_carries_labels_and_detail() {
+        let e = CellError::NonZeroExit { code: 3 };
+        let f = e.to_failure("STREAM", "gcc-12.2", "RISC-V", 2);
+        assert_eq!(f.kind, "exit");
+        assert_eq!(f.retries, 2);
+        assert!(f.detail.contains("code 3"));
+        assert_eq!((f.workload.as_str(), f.isa.as_str()), ("STREAM", "RISC-V"));
+    }
+
+    #[test]
+    fn selector_parses_and_matches() {
+        let sel = CellSelector::parse("STREAM/gcc-12.2/RISC-V").unwrap();
+        assert!(sel.matches("STREAM", "gcc-12.2", "RISC-V"));
+        assert!(sel.matches("stream", "GCC-12.2", "risc-v"), "case-insensitive");
+        assert!(!sel.matches("LBM", "gcc-12.2", "RISC-V"));
+        let any = CellSelector::parse("*/*/RISC-V").unwrap();
+        assert!(any.matches("LBM", "gcc-9.2", "RISC-V"));
+        assert!(!any.matches("LBM", "gcc-9.2", "AArch64"));
+        assert!(CellSelector::parse("STREAM/gcc-12.2").is_err());
+        assert!(CellSelector::parse("//").is_err());
+    }
+
+    #[test]
+    fn inject_spec_round_trip() {
+        let i = InjectSpec::parse("STREAM/gcc-12.2/RISC-V:trap@1000").unwrap();
+        assert!(i.selector.matches("STREAM", "gcc-12.2", "RISC-V"));
+        assert_eq!(
+            i.plan.kind(),
+            &simcore::FaultKind::TrapAt { at_instret: 1000 }
+        );
+        assert!(InjectSpec::parse("STREAM:trap@1").is_err());
+        assert!(InjectSpec::parse("a/b/c").is_err());
+    }
+
+    #[test]
+    fn retries_are_capped() {
+        let o = CellOptions { retries: 99, ..Default::default() };
+        assert_eq!(o.effective_retries(), MAX_CELL_RETRIES);
+    }
+}

@@ -18,14 +18,30 @@
 //! ```
 //! use isacmp::{run_cell, IsaKind, Personality, SizeClass, Workload};
 //!
-//! let cell = run_cell(Workload::Stream, IsaKind::RiscV, &Personality::gcc122(), SizeClass::Test);
+//! let cell = run_cell(Workload::Stream, IsaKind::RiscV, &Personality::gcc122(), SizeClass::Test)
+//!     .expect("cell measures");
 //! println!("path length = {}", cell.path_length);
 //! println!("ILP = {:.0}", cell.ilp());
 //! assert!(cell.critical_path <= cell.path_length);
 //! ```
+//!
+//! # Fault tolerance
+//!
+//! [`run_cell`] returns a typed [`CellError`] instead of panicking, and
+//! [`run_matrix`] degrades gracefully: a failed cell becomes an
+//! `ERR(<kind>)` entry in a partial [`ResultMatrix`] while the other cells
+//! still measure. [`CellOptions`]/[`MatrixOptions`] add per-cell wall-clock
+//! watchdogs, bounded retries, and deterministic fault injection
+//! ([`FaultPlan`]) for proving all of that works.
+
+mod error;
+
+pub use error::{
+    CellError, CellOptions, CellSelector, InjectSpec, MatrixOptions, MAX_CELL_RETRIES,
+};
 
 pub use analysis::{
-    runtime_ms, CpComposition, CpResult, CriticalPath, DepDistance, DualCriticalPath,
+    runtime_ms, CellFailure, CpComposition, CpResult, CriticalPath, DepDistance, DualCriticalPath,
     ExperimentCell, InstMix, PathLength,
     ResultMatrix, WindowStats, WindowedCp, CLOCK_GHZ, PAPER_WINDOW_SIZES,
 };
@@ -33,8 +49,8 @@ pub use isa_aarch64::AArch64Executor;
 pub use isa_riscv::RiscVExecutor;
 pub use kernelgen::{compile, interpret, Compiled, KernelProgram, Personality};
 pub use simcore::{
-    CpuState, EmulationCore, InstGroup, IsaExecutor, IsaKind, Observer, Program, RetiredInst,
-    RunStats,
+    CpuState, EmulationCore, FaultKind, FaultPlan, InstGroup, IsaExecutor, IsaKind, Observer,
+    Program, RetiredInst, RunStats, SimError,
 };
 pub use uarch::{
     BimodalPredictor, BranchStats, CacheConfig, CacheModel, CacheStats, GsharePredictor,
@@ -53,68 +69,117 @@ pub fn isa_label(isa: IsaKind) -> &'static str {
     }
 }
 
+/// Execute a compiled program, streaming retirements through `observers`,
+/// with typed errors: load failures, guest faults, watchdog trips and
+/// non-zero exits all come back as a [`CellError`] instead of a panic.
+///
+/// `deadline` attaches a wall-clock watchdog; `fault` injects a
+/// deterministic [`FaultPlan`] into the run.
+pub fn try_execute(
+    compiled: &Compiled,
+    observers: &mut [&mut dyn Observer],
+    deadline: Option<std::time::Duration>,
+    fault: Option<&FaultPlan>,
+) -> Result<(CpuState, RunStats), CellError> {
+    let _span = telemetry::global().enter("emulate");
+    let mut st = CpuState::new();
+    compiled.program.load(&mut st).map_err(CellError::Load)?;
+
+    fn build_core<E: IsaExecutor>(
+        exec: E,
+        deadline: Option<std::time::Duration>,
+        fault: Option<&FaultPlan>,
+    ) -> EmulationCore<E> {
+        let mut core = EmulationCore::new(exec);
+        if let Some(d) = deadline {
+            core = core.with_deadline(d);
+        }
+        if let Some(plan) = fault {
+            core = core.with_injector(Box::new(plan.clone()));
+        }
+        core
+    }
+
+    let result = match compiled.program.isa {
+        IsaKind::RiscV => {
+            build_core(RiscVExecutor::new(), deadline, fault).run(&mut st, observers)
+        }
+        IsaKind::AArch64 => {
+            build_core(AArch64Executor::new(), deadline, fault).run(&mut st, observers)
+        }
+    };
+    let stats = result.map_err(|err| {
+        let instret = st.instret;
+        if err.is_watchdog() {
+            CellError::Timeout { err, instret }
+        } else {
+            CellError::Sim { err, instret }
+        }
+    })?;
+    if stats.exit_code != 0 {
+        return Err(CellError::NonZeroExit { code: stats.exit_code });
+    }
+    telemetry::global().counter_add("instructions_retired", stats.retired);
+    Ok((st, stats))
+}
+
 /// Execute a compiled program, streaming retirements through `observers`.
 ///
-/// Returns the final CPU state and run statistics.
+/// Returns the final CPU state and run statistics. Convenience wrapper
+/// around [`try_execute`]: panics if the guest cannot load, faults, or
+/// exits non-zero — tools that need to survive those use [`try_execute`].
 pub fn execute(
     compiled: &Compiled,
     observers: &mut [&mut dyn Observer],
 ) -> (CpuState, RunStats) {
-    let _span = telemetry::global().enter("emulate");
-    let mut st = CpuState::new();
-    compiled.program.load(&mut st).expect("program loads");
-    let stats = match compiled.program.isa {
-        IsaKind::RiscV => EmulationCore::new(RiscVExecutor::new())
-            .run(&mut st, observers)
-            .expect("riscv run"),
-        IsaKind::AArch64 => EmulationCore::new(AArch64Executor::new())
-            .run(&mut st, observers)
-            .expect("aarch64 run"),
-    };
-    assert_eq!(stats.exit_code, 0, "workload must exit cleanly");
-    telemetry::global().counter_add("instructions_retired", stats.retired);
-    (st, stats)
+    try_execute(compiled, observers, None, None)
+        .unwrap_or_else(|e| panic!("execute({}): {e}", compiled.program.isa))
 }
 
-/// Run the full measurement set for one (workload, ISA, compiler) cell:
-/// path length (total + per kernel), critical path, TX2-scaled critical
-/// path and the windowed critical path, in a single emulation pass.
-pub fn run_cell(
+/// One measurement attempt for a cell, with every failure mode typed.
+fn run_cell_attempt(
     workload: Workload,
     isa: IsaKind,
     personality: &Personality,
     size: SizeClass,
-) -> ExperimentCell {
+    opts: &CellOptions,
+) -> Result<ExperimentCell, CellError> {
     let tel = telemetry::global();
-    let _cell_span =
-        tel.enter(&format!("cell:{}/{}/{}", workload.name(), isa_label(isa), personality.label()));
-    let cell_start = std::time::Instant::now();
-    let prog = workload.build(size);
-    let compiled = tel.time("compile", || compile(&prog, isa, personality));
+    // The builder and compiler report bugs by panicking; contain them to
+    // this cell.
+    let compiled_or = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let prog = workload.build(size);
+        let compiled = tel.time("compile", || compile(&prog, isa, personality));
+        (prog, compiled)
+    }));
+    let (prog, compiled) =
+        compiled_or.map_err(|p| CellError::Compile { msg: error::panic_message(p) })?;
 
     let mut pl = PathLength::new(&compiled.program.regions);
     let mut cp = DualCriticalPath::new(Tx2Latency);
     let mut wcp = WindowedCp::paper();
     {
         let mut obs: Vec<&mut dyn Observer> = vec![&mut pl, &mut cp, &mut wcp];
-        let (st, _stats) = execute(&compiled, &mut obs);
+        let (st, _stats) =
+            try_execute(&compiled, &mut obs, opts.deadline, opts.fault.as_ref())?;
         // Cross-check the guest checksum against the reference interpreter:
-        // every measured cell is also a correctness test.
+        // every measured cell is also a correctness test, and the gate that
+        // turns injected silent corruption into a loud, typed failure.
         let _verify_span = tel.enter("verify");
         let expected = interpret(&prog, personality).checksum;
-        let got = st.mem.read_f64(compiled.checksum_addr).expect("checksum readable");
-        assert_eq!(
-            got.to_bits(),
-            expected.to_bits(),
-            "{} on {}: checksum mismatch",
-            workload.name(),
-            isa_label(isa)
-        );
+        let got = st.mem.read_f64(compiled.checksum_addr).map_err(|err| CellError::Sim {
+            err,
+            instret: st.instret,
+        })?;
+        if got.to_bits() != expected.to_bits() {
+            return Err(CellError::ChecksumMismatch {
+                expected_bits: expected.to_bits(),
+                got_bits: got.to_bits(),
+            });
+        }
     }
 
-    tel.counter_add("cells_run", 1);
-    tel.histogram_record("cell_wall_ms", cell_start.elapsed().as_millis() as u64);
-    ExperimentCell {
+    Ok(ExperimentCell {
         workload: workload.name().to_string(),
         compiler: personality.label().to_string(),
         isa: isa_label(isa).to_string(),
@@ -127,18 +192,92 @@ pub fn run_cell(
             .iter()
             .map(|s| (s.size, s.mean_cp(), s.mean_ilp()))
             .collect(),
+    })
+}
+
+/// [`run_cell`] with explicit fault-tolerance options: a wall-clock
+/// deadline, bounded retries for retryable failures, and (for testing the
+/// harness itself) a deterministic injected fault.
+///
+/// Telemetry counters: `cells_run`, `cells_failed`, `cell_retries`,
+/// `watchdog_trips`, `faults_injected`.
+pub fn run_cell_opts(
+    workload: Workload,
+    isa: IsaKind,
+    personality: &Personality,
+    size: SizeClass,
+    opts: &CellOptions,
+) -> Result<ExperimentCell, CellError> {
+    let tel = telemetry::global();
+    let _cell_span =
+        tel.enter(&format!("cell:{}/{}/{}", workload.name(), isa_label(isa), personality.label()));
+    let cell_start = std::time::Instant::now();
+    if opts.fault.is_some() {
+        tel.counter_add("faults_injected", 1);
     }
+    let max_retries = opts.effective_retries();
+    let mut attempt = 0u32;
+    loop {
+        // Panics from the emulator or observers degrade to a typed,
+        // per-cell error rather than unwinding through the worker pool.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_cell_attempt(workload, isa, personality, size, opts)
+        }))
+        .unwrap_or_else(|p| Err(CellError::Panic { msg: error::panic_message(p) }));
+        match outcome {
+            Ok(cell) => {
+                tel.counter_add("cells_run", 1);
+                tel.histogram_record("cell_wall_ms", cell_start.elapsed().as_millis() as u64);
+                return Ok(cell);
+            }
+            Err(e) => {
+                if matches!(e, CellError::Timeout { .. }) {
+                    tel.counter_add("watchdog_trips", 1);
+                }
+                if e.retryable() && attempt < max_retries {
+                    attempt += 1;
+                    tel.counter_add("cell_retries", 1);
+                    continue;
+                }
+                tel.counter_add("cells_failed", 1);
+                return Err(e);
+            }
+        }
+    }
+}
+
+/// Run the full measurement set for one (workload, ISA, compiler) cell:
+/// path length (total + per kernel), critical path, TX2-scaled critical
+/// path and the windowed critical path, in a single emulation pass.
+pub fn run_cell(
+    workload: Workload,
+    isa: IsaKind,
+    personality: &Personality,
+    size: SizeClass,
+) -> Result<ExperimentCell, CellError> {
+    run_cell_opts(workload, isa, personality, size, &CellOptions::default())
 }
 
 /// Run the paper's full experiment matrix: all five workloads x
 /// {GCC 9.2, GCC 12.2} x {AArch64, RISC-V}, cells in parallel across a
-/// scoped thread pool sized to the host.
+/// scoped thread pool sized to the host. Failed cells degrade to
+/// [`ResultMatrix::failures`] entries; the other cells still measure.
 pub fn run_matrix(size: SizeClass) -> ResultMatrix {
     run_matrix_for(&Workload::ALL, size)
 }
 
 /// Run the matrix for a subset of workloads.
 pub fn run_matrix_for(workloads: &[Workload], size: SizeClass) -> ResultMatrix {
+    run_matrix_opts(workloads, size, &MatrixOptions::default())
+}
+
+/// Run the matrix with fault-tolerance options (per-cell deadline,
+/// retries, targeted fault injection).
+pub fn run_matrix_opts(
+    workloads: &[Workload],
+    size: SizeClass,
+    opts: &MatrixOptions,
+) -> ResultMatrix {
     let _span = telemetry::global().enter("matrix");
     let combos: Vec<(Workload, Personality, IsaKind)> = workloads
         .iter()
@@ -150,19 +289,51 @@ pub fn run_matrix_for(workloads: &[Workload], size: SizeClass) -> ResultMatrix {
                 })
         })
         .collect();
-    let cells = par_map(&combos, |(w, p, isa)| run_cell(*w, *isa, p, size));
-    ResultMatrix { cells }
+    let outcomes = par_map(&combos, |(w, p, isa)| {
+        let cell_opts = opts.cell_options(w.name(), p.label(), isa_label(*isa));
+        run_cell_opts(*w, *isa, p, size, &cell_opts)
+    });
+    let mut matrix = ResultMatrix::default();
+    for ((w, p, isa), outcome) in combos.iter().zip(outcomes) {
+        let (workload, compiler, isa) = (w.name(), p.label(), isa_label(*isa));
+        match outcome {
+            Ok(Ok(cell)) => matrix.cells.push(cell),
+            Ok(Err(e)) => {
+                let retries = if e.retryable() { opts.retries.min(MAX_CELL_RETRIES) } else { 0 };
+                matrix.failures.push(e.to_failure(workload, compiler, isa, retries as u64));
+            }
+            // A panic that escaped even run_cell's catch_unwind (or a lost
+            // worker): record it, keep the rest of the matrix.
+            Err(msg) => {
+                let e = CellError::Panic { msg };
+                matrix.failures.push(e.to_failure(workload, compiler, isa, 0));
+            }
+        }
+    }
+    matrix
 }
 
 /// Map `f` over `items` on a scoped worker pool (one thread per available
-/// core, capped by the item count); results keep input order.
-fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+/// core, capped by the item count); results keep input order. Fault
+/// isolation: each call runs under `catch_unwind`, so one panicking item
+/// yields one `Err` slot instead of tearing down the pool, and the slot
+/// mutex is poison-tolerant (a poisoned lock only means some *other* slot
+/// panicked mid-store, which `catch_unwind` already prevents).
+fn par_map<T: Sync, R: Send>(
+    items: &[T],
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<Result<R, String>> {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    let call = |item: &T| {
+        catch_unwind(AssertUnwindSafe(|| f(item))).map_err(error::panic_message)
+    };
     let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(items.len());
     if threads <= 1 {
-        return items.iter().map(f).collect();
+        return items.iter().map(call).collect();
     }
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut slots: Vec<Option<R>> = Vec::new();
+    let mut slots: Vec<Option<Result<R, String>>> = Vec::new();
     slots.resize_with(items.len(), || None);
     let slots_mutex = std::sync::Mutex::new(&mut slots);
     std::thread::scope(|scope| {
@@ -172,12 +343,15 @@ fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> 
                 if i >= items.len() {
                     break;
                 }
-                let r = f(&items[i]);
-                slots_mutex.lock().unwrap()[i] = Some(r);
+                let r = call(&items[i]);
+                slots_mutex.lock().unwrap_or_else(std::sync::PoisonError::into_inner)[i] = Some(r);
             });
         }
     });
-    slots.into_iter().map(|r| r.expect("worker filled every slot")).collect()
+    slots
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|| Err("worker died before filling its slot".into())))
+        .collect()
 }
 
 /// Run a workload through a trace-driven pipeline model (experiment E7,
@@ -231,14 +405,19 @@ pub fn run_pipeline(
 pub fn disassemble_region(compiled: &Compiled, region: &str) -> Vec<(u64, String)> {
     let program = &compiled.program;
     let mut st = CpuState::new();
-    program.load(&mut st).expect("program loads");
+    if let Err(e) = program.load(&mut st) {
+        // A listing tool shouldn't panic: surface the reason in-band.
+        return vec![(0, format!("<load failed: {e}>"))];
+    }
     let mut out = Vec::new();
     for r in program.regions.iter().filter(|r| r.name == region) {
         for pc in (r.start..r.end).step_by(4) {
-            let word = st.mem.read_u32(pc).expect("text mapped");
-            let text = match program.isa {
-                IsaKind::RiscV => RiscVExecutor::new().disassemble(word),
-                IsaKind::AArch64 => AArch64Executor::new().disassemble(word),
+            let text = match st.mem.read_u32(pc) {
+                Ok(word) => match program.isa {
+                    IsaKind::RiscV => RiscVExecutor::new().disassemble(word),
+                    IsaKind::AArch64 => AArch64Executor::new().disassemble(word),
+                },
+                Err(_) => "<unmapped>".to_string(),
             };
             out.push((pc, text));
         }
@@ -257,7 +436,8 @@ mod tests {
             IsaKind::RiscV,
             &Personality::gcc122(),
             SizeClass::Test,
-        );
+        )
+        .expect("healthy cell measures");
         assert!(cell.critical_path <= cell.path_length);
         assert!(cell.scaled_cp >= cell.critical_path);
         assert!(cell.ilp() >= 1.0);
@@ -282,7 +462,51 @@ mod tests {
     fn matrix_runs_one_workload() {
         let m = run_matrix_for(&[Workload::Stream], SizeClass::Test);
         assert_eq!(m.cells.len(), 4);
+        assert!(m.is_complete(), "no failures expected: {}", m.failure_summary());
         assert!(m.get("STREAM", "gcc-9.2", "AArch64").is_some());
         assert!(m.table1().contains("STREAM"));
+    }
+
+    #[test]
+    fn injected_trap_degrades_one_cell() {
+        let inject = InjectSpec::parse("STREAM/gcc-12.2/RISC-V:trap@1000").unwrap();
+        let opts = MatrixOptions { inject: Some(inject), ..Default::default() };
+        let m = run_matrix_opts(&[Workload::Stream], SizeClass::Test, &opts);
+        assert_eq!(m.cells.len(), 3, "three healthy cells still measure");
+        assert_eq!(m.failures.len(), 1);
+        let f = m.get_failure("STREAM", "gcc-12.2", "RISC-V").expect("targeted cell failed");
+        assert_eq!(f.kind, "sim");
+        assert!(f.detail.contains("injected fault"), "detail: {}", f.detail);
+        assert!(m.table1().contains("ERR(sim)"), "table renders the failed cell");
+    }
+
+    #[test]
+    fn zero_deadline_times_out() {
+        let opts = CellOptions {
+            deadline: Some(std::time::Duration::ZERO),
+            ..Default::default()
+        };
+        let err = run_cell_opts(
+            Workload::Stream,
+            IsaKind::RiscV,
+            &Personality::gcc122(),
+            SizeClass::Test,
+            &opts,
+        )
+        .expect_err("zero deadline must trip the watchdog");
+        assert_eq!(err.kind(), "timeout");
+    }
+
+    #[test]
+    fn par_map_isolates_a_panicking_item() {
+        let out = par_map(&[1u32, 2, 3], |&n| {
+            if n == 2 {
+                panic!("boom on {n}");
+            }
+            n * 10
+        });
+        assert_eq!(out[0], Ok(10));
+        assert!(out[1].as_ref().is_err_and(|m| m.contains("boom on 2")));
+        assert_eq!(out[2], Ok(30));
     }
 }

@@ -292,6 +292,10 @@ impl IsaExecutor for AArch64Executor {
     fn name(&self) -> &'static str {
         "aarch64"
     }
+
+    fn flush_decode_cache(&self) {
+        self.cache.borrow_mut().clear();
+    }
 }
 
 /// Execute one decoded instruction at `pc`, returning its retirement record.

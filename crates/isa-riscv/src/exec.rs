@@ -250,6 +250,10 @@ impl IsaExecutor for RiscVExecutor {
     fn name(&self) -> &'static str {
         "rv64g"
     }
+
+    fn flush_decode_cache(&self) {
+        self.cache.borrow_mut().clear();
+    }
 }
 
 /// Execute one decoded instruction at `pc`, returning its retirement record.

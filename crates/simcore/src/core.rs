@@ -1,8 +1,10 @@
 //! The single-cycle emulation core.
 
+use std::cell::RefCell;
 use std::time::{Duration, Instant};
 
 use crate::error::SimError;
+use crate::fault::{FaultInjector, InjectAction};
 use crate::observer::Observer;
 use crate::retire::RetiredInst;
 use crate::state::CpuState;
@@ -20,6 +22,11 @@ pub trait IsaExecutor {
 
     /// Short ISA name ("rv64g", "aarch64").
     fn name(&self) -> &'static str;
+
+    /// Drop any cached decodes. Called by the core after instruction memory
+    /// is mutated behind the executor's back (fault injection); the default
+    /// suits executors that do not cache.
+    fn flush_decode_cache(&self) {}
 }
 
 /// Statistics from one emulation run.
@@ -61,6 +68,12 @@ pub struct EmulationCore<E: IsaExecutor> {
     max_insts: u64,
     /// Heartbeat interval in retirements; `u64::MAX` disables it.
     progress_every: u64,
+    /// Wall-clock watchdog; checked every [`Self::DEADLINE_CHECK_INTERVAL`]
+    /// retirements so the hot loop pays only an AND and a branch.
+    deadline: Option<Duration>,
+    /// Fault-injection hook, consulted before every step when present.
+    /// `RefCell` keeps [`EmulationCore::run`] callable on a shared core.
+    injector: Option<RefCell<Box<dyn FaultInjector>>>,
 }
 
 /// Default heartbeat interval when `ISACMP_PROGRESS` is set without a count.
@@ -82,18 +95,40 @@ impl<E: IsaExecutor> EmulationCore<E> {
     /// exceeds a few hundred million instructions).
     pub const DEFAULT_BUDGET: u64 = 5_000_000_000;
 
+    /// How often (in retirements) the wall-clock watchdog consults the
+    /// host clock. Power of two so the check is a mask.
+    pub const DEADLINE_CHECK_INTERVAL: u64 = 1 << 14;
+
     /// Create a core around an ISA executor.
     pub fn new(exec: E) -> Self {
         EmulationCore {
             exec,
             max_insts: Self::DEFAULT_BUDGET,
             progress_every: progress_interval_from_env(),
+            deadline: None,
+            injector: None,
         }
     }
 
     /// Override the instruction budget.
     pub fn with_budget(mut self, max_insts: u64) -> Self {
         self.max_insts = max_insts;
+        self
+    }
+
+    /// Attach a wall-clock watchdog: the run fails with
+    /// [`SimError::WallClockExceeded`] once `deadline` elapses. The clock is
+    /// polled every [`Self::DEADLINE_CHECK_INTERVAL`] retirements, so
+    /// enforcement granularity is a few tens of microseconds of guest time.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attach a fault injector (e.g. a [`crate::FaultPlan`]), consulted
+    /// before every step.
+    pub fn with_injector(mut self, injector: Box<dyn FaultInjector>) -> Self {
+        self.injector = Some(RefCell::new(injector));
         self
     }
 
@@ -129,6 +164,27 @@ impl<E: IsaExecutor> EmulationCore<E> {
                     budget: self.max_insts,
                 });
             }
+            if retired & (Self::DEADLINE_CHECK_INTERVAL - 1) == 0 {
+                if let Some(deadline) = self.deadline {
+                    if start.elapsed() >= deadline {
+                        state.instret = retired;
+                        return Err(SimError::WallClockExceeded {
+                            limit_ms: deadline.as_millis() as u64,
+                            retired,
+                        });
+                    }
+                }
+            }
+            if let Some(inj) = &self.injector {
+                match inj.borrow_mut().before_step(state, retired) {
+                    Ok(InjectAction::Continue) => {}
+                    Ok(InjectAction::FlushDecodeCache) => self.exec.flush_decode_cache(),
+                    Err(e) => {
+                        state.instret = retired;
+                        return Err(e);
+                    }
+                }
+            }
             let ri = match self.exec.step(state) {
                 Ok(ri) => ri,
                 Err(e) => {
@@ -160,5 +216,118 @@ impl<E: IsaExecutor> EmulationCore<E> {
             exit_code: state.exited.unwrap_or(0),
             wall: start.elapsed(),
         })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultPlan;
+    use crate::retire::InstGroup;
+    use std::cell::Cell;
+
+    /// Minimal executor: reads the word at pc (a real memory fetch, so read
+    /// faults and fetch corruption are visible); word 0 = nop, anything
+    /// else = exit with that word as the code.
+    struct SpinExec {
+        flushes: Cell<u32>,
+    }
+
+    impl SpinExec {
+        fn new() -> Self {
+            SpinExec { flushes: Cell::new(0) }
+        }
+    }
+
+    impl IsaExecutor for SpinExec {
+        fn step(&self, state: &mut CpuState) -> Result<RetiredInst, SimError> {
+            let word = state.mem.read_u32(state.pc)?;
+            if word != 0 {
+                state.exited = Some(word as i64);
+            }
+            state.pc = state.pc.wrapping_add(4);
+            Ok(RetiredInst::new(state.pc - 4, InstGroup::IntAlu))
+        }
+
+        fn disassemble(&self, _word: u32) -> String {
+            "nop".into()
+        }
+
+        fn name(&self) -> &'static str {
+            "spin"
+        }
+
+        fn flush_decode_cache(&self) {
+            self.flushes.set(self.flushes.get() + 1);
+        }
+    }
+
+    /// A looping guest: one mapped page of nops, pc wrapped back each 1024
+    /// instructions by the test via a tiny budget instead.
+    fn spinning_state() -> CpuState {
+        let mut st = CpuState::new();
+        st.pc = 0x1000;
+        // Map several pages of nops so the spin runs for a while.
+        for page in 0..64u64 {
+            st.mem.write_u64(0x1000 + page * 4096, 0).unwrap();
+        }
+        st
+    }
+
+    #[test]
+    fn wall_clock_watchdog_fires() {
+        let mut st = spinning_state();
+        let core = EmulationCore::new(SpinExec::new()).with_deadline(Duration::ZERO);
+        let err = core.run(&mut st, &mut []).unwrap_err();
+        assert!(
+            matches!(err, SimError::WallClockExceeded { .. }),
+            "expected WallClockExceeded, got {err}"
+        );
+        assert!(err.is_watchdog());
+    }
+
+    #[test]
+    fn generous_deadline_does_not_fire() {
+        let mut st = CpuState::new();
+        st.pc = 0x1000;
+        st.mem.write_u32(0x1000, 7).unwrap(); // immediate exit(7)
+        let core =
+            EmulationCore::new(SpinExec::new()).with_deadline(Duration::from_secs(3600));
+        let stats = core.run(&mut st, &mut []).unwrap();
+        assert_eq!(stats.exit_code, 7);
+    }
+
+    #[test]
+    fn injected_trap_stops_run_at_target_instret() {
+        let mut st = spinning_state();
+        let plan = FaultPlan::parse("trap@5").unwrap();
+        let core = EmulationCore::new(SpinExec::new()).with_injector(Box::new(plan));
+        let err = core.run(&mut st, &mut []).unwrap_err();
+        assert!(matches!(err, SimError::Fault { .. }), "{err}");
+        assert_eq!(st.instret, 5, "trap must fire before the 6th instruction");
+    }
+
+    #[test]
+    fn injected_fetch_corruption_flushes_and_alters_execution() {
+        let mut st = spinning_state();
+        // Corrupt the word fetched at retirement 3: nop (0) becomes
+        // non-zero, which SpinExec treats as exit.
+        let plan = FaultPlan::parse("fetch@3:0x2a").unwrap();
+        let exec = SpinExec::new();
+        let core = EmulationCore::new(exec).with_injector(Box::new(plan));
+        let stats = core.run(&mut st, &mut []).unwrap();
+        assert_eq!(stats.exit_code, 0x2a, "corrupted word drives the exit");
+        assert_eq!(stats.retired, 4);
+        assert_eq!(core.executor().flushes.get(), 1, "decode cache flushed once");
+    }
+
+    #[test]
+    fn injected_read_flip_reaches_the_guest() {
+        let mut st = spinning_state();
+        // Flip a low bit of the very first fetch: nop becomes exit(1<<b).
+        let plan = FaultPlan::parse("read@1:0").unwrap();
+        let core = EmulationCore::new(SpinExec::new()).with_injector(Box::new(plan));
+        let stats = core.run(&mut st, &mut []).unwrap();
+        assert_eq!(stats.exit_code, 1);
     }
 }

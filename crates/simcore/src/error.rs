@@ -34,6 +34,15 @@ pub enum SimError {
         /// The budget that was exceeded.
         budget: u64,
     },
+    /// The run exceeded the caller-supplied wall-clock deadline (the
+    /// watchdog complement to the instruction budget: it also catches
+    /// guests that are *slow* rather than merely long).
+    WallClockExceeded {
+        /// The deadline that was exceeded, in milliseconds.
+        limit_ms: u64,
+        /// Instructions retired when the watchdog fired.
+        retired: u64,
+    },
     /// The guest executed an explicit trap/breakpoint instruction.
     Breakpoint {
         /// PC of the breakpoint.
@@ -47,6 +56,17 @@ pub enum SimError {
         /// Human-readable reason.
         msg: String,
     },
+}
+
+impl SimError {
+    /// True for the two watchdog variants (instruction budget and wall
+    /// clock): the guest did not fault, the harness gave up on it.
+    pub fn is_watchdog(&self) -> bool {
+        matches!(
+            self,
+            SimError::InstructionBudgetExceeded { .. } | SimError::WallClockExceeded { .. }
+        )
+    }
 }
 
 impl std::fmt::Display for SimError {
@@ -64,6 +84,9 @@ impl std::fmt::Display for SimError {
             SimError::MisalignedPc { pc } => write!(f, "misaligned pc {pc:#x}"),
             SimError::InstructionBudgetExceeded { budget } => {
                 write!(f, "instruction budget of {budget} exceeded")
+            }
+            SimError::WallClockExceeded { limit_ms, retired } => {
+                write!(f, "wall-clock deadline of {limit_ms} ms exceeded after {retired} retirements")
             }
             SimError::Breakpoint { pc } => write!(f, "breakpoint at pc {pc:#x}"),
             SimError::Fault { pc, msg } => write!(f, "fault at pc {pc:#x}: {msg}"),

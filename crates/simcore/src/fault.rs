@@ -1,0 +1,324 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] describes exactly one fault to inject into an emulation
+//! run: force a trap at a chosen retirement count, corrupt the instruction
+//! word about to be fetched, or flip a bit in the value returned by the Nth
+//! guest memory read. Plans are parsed from compact CLI specs
+//! (`trap@N`, `fetch@N[:MASK]`, `read@N[:BIT]`) and are fully
+//! deterministic: unspecified bit positions and corruption masks are
+//! derived from a SplitMix64 stream seeded by [`FaultPlan::with_seed`]
+//! (default [`DEFAULT_FAULT_SEED`]), so the same spec + seed always
+//! produces the same fault.
+//!
+//! Injection is driven by the [`FaultInjector`] hook — the pre-step
+//! counterpart of [`crate::Observer`] — which the
+//! [`EmulationCore`](crate::EmulationCore) consults before every step when
+//! an injector is attached (see `EmulationCore::with_injector`). Read-value
+//! flips are armed directly on the [`Memory`](crate::Memory) at the start
+//! of the run.
+//!
+//! The layer exists to *prove* the harness's fault tolerance: checksum
+//! verification must catch silent data corruption, and the experiment
+//! matrix must degrade one injected failure to one `ERR` cell instead of
+//! losing the whole run.
+
+use crate::error::SimError;
+use crate::state::CpuState;
+
+/// Seed used when the caller does not pick one ("FA17" ~ "fault").
+pub const DEFAULT_FAULT_SEED: u64 = 0xFA17_FA17_FA17_FA17;
+
+/// One step of a SplitMix64 stream (same generator as the workloads'
+/// `DeckRng` input decks — tiny, seedable, and identical everywhere).
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// What kind of fault a plan injects, and when.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Raise [`SimError::Fault`] just before the instruction at retirement
+    /// count `at_instret` executes (a forced machine check).
+    TrapAt {
+        /// Retirement count at which the trap fires.
+        at_instret: u64,
+    },
+    /// XOR the instruction word at the current PC with `mask` just before
+    /// the instruction at retirement count `at_instret` executes — a
+    /// persistent bit flip in instruction memory. `None` derives a
+    /// non-zero mask from the seed.
+    CorruptFetch {
+        /// Retirement count at which the word is corrupted.
+        at_instret: u64,
+        /// XOR mask; `None` = derived from the seed.
+        mask: Option<u32>,
+    },
+    /// Flip one bit of the value returned by the Nth guest memory read
+    /// (1-based, counting every sized read including instruction fetches).
+    /// The stored memory is untouched — a transient read upset. `None`
+    /// derives the bit index from the seed.
+    FlipRead {
+        /// Which read to corrupt (1-based).
+        nth: u64,
+        /// Bit to flip (modulo the read width); `None` = derived.
+        bit: Option<u32>,
+    },
+}
+
+/// Action requested by a [`FaultInjector`] after mutating guest state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectAction {
+    /// Nothing to do; proceed with the step.
+    Continue,
+    /// Instruction memory changed: the executor must drop cached decodes.
+    FlushDecodeCache,
+}
+
+/// Pre-step hook consulted by the emulation core — the fault-injection
+/// counterpart of [`crate::Observer`]. Called with the retirement count the
+/// next step will have; may mutate state, request a decode-cache flush, or
+/// abort the run with an injected [`SimError`].
+pub trait FaultInjector {
+    /// Called before each step; `retired` is the number of instructions
+    /// retired so far (0 before the first).
+    fn before_step(&mut self, state: &mut CpuState, retired: u64) -> Result<InjectAction, SimError>;
+}
+
+/// A deterministic single-fault plan. See the module docs for the spec
+/// grammar. Cloning a plan re-arms it (the fired flag is per-instance), so
+/// retries of a failed cell deterministically re-inject the same fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    kind: FaultKind,
+    seed: u64,
+    fired: bool,
+}
+
+impl FaultPlan {
+    /// Build a plan from a kind, with the default seed.
+    pub fn new(kind: FaultKind) -> Self {
+        FaultPlan { kind, seed: DEFAULT_FAULT_SEED, fired: false }
+    }
+
+    /// Parse a CLI spec: `trap@N`, `fetch@N[:MASK]` (mask hex with `0x` or
+    /// decimal), or `read@N[:BIT]`.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let (what, rest) = spec
+            .split_once('@')
+            .ok_or_else(|| format!("bad fault spec {spec:?}: expected <kind>@<n>[:arg]"))?;
+        let (n_str, arg) = match rest.split_once(':') {
+            Some((n, a)) => (n, Some(a)),
+            None => (rest, None),
+        };
+        let n: u64 = n_str
+            .parse()
+            .map_err(|_| format!("bad fault spec {spec:?}: {n_str:?} is not a count"))?;
+        let kind = match what {
+            "trap" => {
+                if arg.is_some() {
+                    return Err(format!("bad fault spec {spec:?}: trap takes no argument"));
+                }
+                FaultKind::TrapAt { at_instret: n }
+            }
+            "fetch" => {
+                let mask = arg
+                    .map(|a| parse_u64_maybe_hex(a).map(|v| v as u32))
+                    .transpose()
+                    .map_err(|e| format!("bad fault spec {spec:?}: {e}"))?;
+                if mask == Some(0) {
+                    return Err(format!("bad fault spec {spec:?}: a zero mask flips nothing"));
+                }
+                FaultKind::CorruptFetch { at_instret: n, mask }
+            }
+            "read" => {
+                let bit = arg
+                    .map(|a| {
+                        a.parse::<u32>().map_err(|_| format!("{a:?} is not a bit index"))
+                    })
+                    .transpose()
+                    .map_err(|e| format!("bad fault spec {spec:?}: {e}"))?;
+                if n == 0 {
+                    return Err(format!("bad fault spec {spec:?}: reads are counted from 1"));
+                }
+                FaultKind::FlipRead { nth: n, bit }
+            }
+            other => {
+                return Err(format!(
+                    "bad fault spec {spec:?}: unknown kind {other:?} (trap, fetch, read)"
+                ))
+            }
+        };
+        Ok(FaultPlan::new(kind))
+    }
+
+    /// Replace the seed used to derive unspecified masks / bit indices.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The planned fault.
+    pub fn kind(&self) -> &FaultKind {
+        &self.kind
+    }
+
+    /// The XOR mask a `fetch` fault will apply (explicit or seed-derived,
+    /// always non-zero).
+    pub fn fetch_mask(&self) -> u32 {
+        match self.kind {
+            FaultKind::CorruptFetch { mask: Some(m), .. } => m,
+            _ => {
+                let mut s = self.seed;
+                (splitmix64(&mut s) as u32) | 1
+            }
+        }
+    }
+
+    /// The bit index a `read` fault will flip (explicit or seed-derived;
+    /// reduced modulo the read width when applied).
+    pub fn read_bit(&self) -> u32 {
+        match self.kind {
+            FaultKind::FlipRead { bit: Some(b), .. } => b,
+            _ => {
+                let mut s = self.seed;
+                let _ = splitmix64(&mut s); // first draw feeds fetch_mask
+                (splitmix64(&mut s) % 64) as u32
+            }
+        }
+    }
+
+    /// Compact human description (for logs and `ERR` cell details).
+    pub fn describe(&self) -> String {
+        match &self.kind {
+            FaultKind::TrapAt { at_instret } => format!("forced trap at instret {at_instret}"),
+            FaultKind::CorruptFetch { at_instret, .. } => format!(
+                "instruction word xor {:#010x} at instret {at_instret}",
+                self.fetch_mask()
+            ),
+            FaultKind::FlipRead { nth, .. } => {
+                format!("bit {} flip on memory read #{nth}", self.read_bit())
+            }
+        }
+    }
+}
+
+fn parse_u64_maybe_hex(s: &str) -> Result<u64, String> {
+    let parsed = match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => s.parse(),
+    };
+    parsed.map_err(|_| format!("{s:?} is not a number"))
+}
+
+impl FaultInjector for FaultPlan {
+    fn before_step(&mut self, state: &mut CpuState, retired: u64) -> Result<InjectAction, SimError> {
+        if self.fired {
+            return Ok(InjectAction::Continue);
+        }
+        match self.kind {
+            FaultKind::FlipRead { nth, .. } => {
+                // Armed once, on the memory itself, before the first step.
+                self.fired = true;
+                state.mem.arm_read_fault(nth, self.read_bit());
+                Ok(InjectAction::Continue)
+            }
+            FaultKind::TrapAt { at_instret } if retired == at_instret => {
+                self.fired = true;
+                Err(SimError::Fault {
+                    pc: state.pc,
+                    msg: format!("injected fault: {}", self.describe()),
+                })
+            }
+            FaultKind::CorruptFetch { at_instret, .. } if retired == at_instret => {
+                self.fired = true;
+                let word = state.mem.read_u32(state.pc)?;
+                state.mem.write_u32(state.pc, word ^ self.fetch_mask())?;
+                Ok(InjectAction::FlushDecodeCache)
+            }
+            _ => Ok(InjectAction::Continue),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_moves() {
+        let mut a = 42;
+        let mut b = 42;
+        let x = splitmix64(&mut a);
+        assert_eq!(x, splitmix64(&mut b));
+        assert_ne!(splitmix64(&mut a), x, "stream must advance");
+    }
+
+    #[test]
+    fn parse_all_kinds() {
+        assert_eq!(
+            FaultPlan::parse("trap@1000").unwrap().kind(),
+            &FaultKind::TrapAt { at_instret: 1000 }
+        );
+        assert_eq!(
+            FaultPlan::parse("fetch@7:0xdead").unwrap().kind(),
+            &FaultKind::CorruptFetch { at_instret: 7, mask: Some(0xDEAD) }
+        );
+        assert_eq!(
+            FaultPlan::parse("read@5:63").unwrap().kind(),
+            &FaultKind::FlipRead { nth: 5, bit: Some(63) }
+        );
+        assert_eq!(
+            FaultPlan::parse("read@5").unwrap().kind(),
+            &FaultKind::FlipRead { nth: 5, bit: None }
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        for bad in ["", "trap", "trap@", "trap@x", "trap@3:1", "boom@3", "read@0", "fetch@1:0x0", "fetch@1:zz"] {
+            assert!(FaultPlan::parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn derived_values_are_seed_deterministic() {
+        let a = FaultPlan::parse("fetch@10").unwrap();
+        let b = FaultPlan::parse("fetch@10").unwrap();
+        assert_eq!(a.fetch_mask(), b.fetch_mask());
+        assert_ne!(a.fetch_mask(), 0);
+        let c = FaultPlan::parse("fetch@10").unwrap().with_seed(1);
+        assert_ne!(c.fetch_mask(), a.fetch_mask(), "different seed, different mask");
+        let r1 = FaultPlan::parse("read@3").unwrap();
+        let r2 = FaultPlan::parse("read@3").unwrap();
+        assert_eq!(r1.read_bit(), r2.read_bit());
+        assert!(r1.read_bit() < 64);
+    }
+
+    #[test]
+    fn trap_fires_exactly_once_at_target() {
+        let mut plan = FaultPlan::parse("trap@3").unwrap();
+        let mut st = CpuState::new();
+        for retired in 0..3 {
+            assert_eq!(plan.before_step(&mut st, retired).unwrap(), InjectAction::Continue);
+        }
+        let err = plan.before_step(&mut st, 3).unwrap_err();
+        assert!(matches!(err, SimError::Fault { .. }), "{err}");
+        // Re-polling after firing is inert (the plan is one-shot).
+        assert!(plan.before_step(&mut st, 3).is_ok());
+    }
+
+    #[test]
+    fn corrupt_fetch_flips_bits_and_requests_flush() {
+        let mut plan = FaultPlan::parse("fetch@2:0x1").unwrap();
+        let mut st = CpuState::new();
+        st.pc = 0x1000;
+        st.mem.write_u32(0x1000, 0x0000_0013).unwrap();
+        assert_eq!(plan.before_step(&mut st, 0).unwrap(), InjectAction::Continue);
+        assert_eq!(plan.before_step(&mut st, 2).unwrap(), InjectAction::FlushDecodeCache);
+        assert_eq!(st.mem.read_u32(0x1000).unwrap(), 0x0000_0012);
+    }
+}

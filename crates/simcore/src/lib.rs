@@ -42,6 +42,7 @@
 pub mod core;
 pub mod elf;
 pub mod error;
+pub mod fault;
 pub mod hash;
 pub mod mem;
 pub mod observer;
@@ -52,6 +53,7 @@ pub mod state;
 
 pub use crate::core::{EmulationCore, IsaExecutor, RunStats};
 pub use crate::error::SimError;
+pub use crate::fault::{FaultInjector, FaultKind, FaultPlan, InjectAction, DEFAULT_FAULT_SEED};
 pub use crate::hash::{WordHasher, WordMap};
 pub use crate::mem::Memory;
 pub use crate::observer::{CountingObserver, NullObserver, Observer};

@@ -7,6 +7,7 @@
 //! up the two ISA back-ends. All accesses are little-endian, matching both
 //! AArch64 (in its default configuration) and RISC-V.
 
+use std::cell::Cell;
 use std::collections::HashMap;
 
 use crate::error::SimError;
@@ -17,10 +18,23 @@ const PAGE_BITS: u32 = 12;
 pub const PAGE_SIZE: usize = 1 << PAGE_BITS;
 const OFFSET_MASK: u64 = (PAGE_SIZE as u64) - 1;
 
+/// A one-shot read upset armed by the fault-injection layer: the Nth sized
+/// read returns its value with one bit flipped. Interior mutability keeps
+/// the read path `&self`.
+#[derive(Debug)]
+struct ReadFault {
+    /// Sized reads left before the flip (0 = flip the next read).
+    remaining: Cell<u64>,
+    /// Bit to flip, reduced modulo the read width at fire time.
+    bit: u32,
+    fired: Cell<bool>,
+}
+
 /// Sparse paged memory with allocate-on-write semantics.
 #[derive(Default)]
 pub struct Memory {
     pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    read_fault: Option<ReadFault>,
 }
 
 impl Memory {
@@ -86,22 +100,59 @@ impl Memory {
         Ok(())
     }
 
+    /// Arm a one-shot fault on the `nth` sized read from now (1-based,
+    /// counting every `read_u8`..`read_u64`/`read_f64`, including
+    /// instruction fetches): its returned value has `bit` (mod the read
+    /// width) flipped. Stored bytes are untouched — a transient upset, the
+    /// kind checksum verification must catch.
+    pub fn arm_read_fault(&mut self, nth: u64, bit: u32) {
+        self.read_fault = Some(ReadFault {
+            remaining: Cell::new(nth.saturating_sub(1)),
+            bit,
+            fired: Cell::new(false),
+        });
+    }
+
+    /// True while an armed read fault has not fired yet.
+    pub fn read_fault_pending(&self) -> bool {
+        self.read_fault.as_ref().is_some_and(|f| !f.fired.get())
+    }
+
+    #[inline]
+    fn apply_read_fault(&self, v: u64, width_bytes: usize) -> u64 {
+        match &self.read_fault {
+            None => v,
+            Some(f) if f.fired.get() => v,
+            Some(f) => {
+                let left = f.remaining.get();
+                if left == 0 {
+                    f.fired.set(true);
+                    v ^ (1u64 << (f.bit % (8 * width_bytes as u32)))
+                } else {
+                    f.remaining.set(left - 1);
+                    v
+                }
+            }
+        }
+    }
+
     /// Read an unsigned little-endian integer of `SIZE` bytes.
     #[inline]
     fn read_int<const SIZE: usize>(&self, addr: u64) -> Result<u64, SimError> {
         let off = (addr & OFFSET_MASK) as usize;
-        if off + SIZE <= PAGE_SIZE {
+        let v = if off + SIZE <= PAGE_SIZE {
             let p = self
                 .page_ref(Self::page_of(addr))
                 .ok_or(SimError::UnmappedRead { addr })?;
             let mut v = [0u8; 8];
             v[..SIZE].copy_from_slice(&p[off..off + SIZE]);
-            Ok(u64::from_le_bytes(v))
+            u64::from_le_bytes(v)
         } else {
             let mut buf = [0u8; 8];
             self.read_bytes(addr, &mut buf[..SIZE])?;
-            Ok(u64::from_le_bytes(buf))
-        }
+            u64::from_le_bytes(buf)
+        };
+        Ok(self.apply_read_fault(v, SIZE))
     }
 
     /// Write the low `SIZE` bytes of `value` little-endian.
@@ -218,6 +269,30 @@ mod tests {
         let mut m = Memory::new();
         m.write_f64(0x3000, -1234.5e-3).unwrap();
         assert_eq!(m.read_f64(0x3000).unwrap(), -1234.5e-3);
+    }
+
+    #[test]
+    fn armed_read_fault_flips_exactly_one_read() {
+        let mut m = Memory::new();
+        m.write_u64(0x1000, 0).unwrap();
+        m.arm_read_fault(2, 3); // second read, bit 3
+        assert!(m.read_fault_pending());
+        assert_eq!(m.read_u64(0x1000).unwrap(), 0, "first read untouched");
+        assert_eq!(m.read_u64(0x1000).unwrap(), 1 << 3, "second read flipped");
+        assert!(!m.read_fault_pending());
+        assert_eq!(m.read_u64(0x1000).unwrap(), 0, "one-shot: later reads clean");
+        // The stored bytes were never modified.
+        let mut raw = [0u8; 8];
+        m.read_bytes(0x1000, &mut raw).unwrap();
+        assert_eq!(raw, [0u8; 8]);
+    }
+
+    #[test]
+    fn read_fault_bit_wraps_to_read_width() {
+        let mut m = Memory::new();
+        m.write_u8(0x10, 0).unwrap();
+        m.arm_read_fault(1, 35); // 35 % 8 = bit 3 for a byte read
+        assert_eq!(m.read_u8(0x10).unwrap(), 1 << 3);
     }
 
     #[test]

@@ -16,7 +16,13 @@ fn main() {
         .expect("workload name");
     for isa in [IsaKind::AArch64, IsaKind::RiscV] {
         let t = std::time::Instant::now();
-        let cell = run_cell(w, isa, &Personality::gcc122(), SizeClass::Paper);
+        let cell = match run_cell(w, isa, &Personality::gcc122(), SizeClass::Paper) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("ERR({}) {}: {e}", e.kind(), w.name());
+                std::process::exit(1);
+            }
+        };
         println!(
             "{} {}: path={} cp={} scaled={} ilp={:.0} runtime2GHz={:.2}ms wall={:.0}s",
             cell.workload,

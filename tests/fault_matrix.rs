@@ -1,0 +1,96 @@
+//! Fault tolerance end to end: an injected fault degrades exactly one
+//! cell of the matrix while every other cell still measures, watchdogs
+//! produce typed timeouts, and silent corruption is caught by the
+//! checksum cross-check.
+
+use isacmp::{
+    run_cell_opts, run_matrix_opts, CellOptions, InjectSpec, IsaKind, MatrixOptions, Personality,
+    ResultMatrix, SizeClass, Workload,
+};
+
+#[test]
+fn injected_fault_degrades_one_cell_and_spares_the_rest() {
+    let inject = InjectSpec::parse("STREAM/gcc-12.2/RISC-V:trap@1000").unwrap();
+    let opts = MatrixOptions { inject: Some(inject), ..Default::default() };
+    let m = run_matrix_opts(&[Workload::Stream, Workload::Lbm], SizeClass::Test, &opts);
+
+    assert_eq!(m.cells.len(), 7, "seven healthy cells measured");
+    assert_eq!(m.failures.len(), 1, "exactly the targeted cell failed");
+    assert!(!m.is_complete());
+    let f = m.get_failure("STREAM", "gcc-12.2", "RISC-V").expect("targeted failure recorded");
+    assert_eq!(f.kind, "sim");
+    assert!(f.detail.contains("injected fault"), "detail: {}", f.detail);
+    // The healthy twin of the faulted cell is untouched.
+    assert!(m.get("STREAM", "gcc-12.2", "AArch64").is_some());
+
+    // Tables render the failure in place instead of dropping the run.
+    let t1 = m.table1();
+    assert!(t1.contains("ERR(sim)"), "table1 should mark the failed cell:\n{t1}");
+    assert!(t1.contains("LBM"), "unaffected workloads still render");
+
+    // The failure record survives the JSON round trip.
+    let back = ResultMatrix::from_json(&m.to_json()).unwrap();
+    assert_eq!(back.failures.len(), 1);
+    assert_eq!(back.failures[0].kind, "sim");
+    assert_eq!(back.cells.len(), 7);
+}
+
+#[test]
+fn zero_deadline_is_a_typed_timeout() {
+    let opts = CellOptions { deadline: Some(std::time::Duration::ZERO), ..Default::default() };
+    let err = run_cell_opts(
+        Workload::Stream,
+        IsaKind::AArch64,
+        &Personality::gcc122(),
+        SizeClass::Test,
+        &opts,
+    )
+    .expect_err("a zero wall-clock budget must trip the watchdog");
+    assert_eq!(err.kind(), "timeout");
+    assert!(!err.retryable(), "watchdog trips are deterministic; retrying wastes wall time");
+}
+
+#[test]
+fn read_corruption_is_caught_by_the_checksum() {
+    // Flip an exponent bit of the 40th read: the guest runs to completion
+    // but its checksum must disagree with the reference interpreter. (A
+    // low mantissa bit could round away in the checksum reduction; bit 62
+    // cannot.)
+    let fault = isacmp::FaultPlan::parse("read@40:62").unwrap();
+    let opts = CellOptions { fault: Some(fault), ..Default::default() };
+    let err = run_cell_opts(
+        Workload::Stream,
+        IsaKind::RiscV,
+        &Personality::gcc122(),
+        SizeClass::Test,
+        &opts,
+    )
+    .expect_err("a corrupted read must not produce the reference checksum");
+    // Depending on which load the fault lands on, the guest either faults
+    // outright or silently corrupts data; both must surface as errors.
+    assert!(
+        matches!(err.kind(), "checksum" | "sim"),
+        "unexpected failure kind {}: {err}",
+        err.kind()
+    );
+}
+
+#[test]
+fn retries_rerun_the_cell_and_are_capped() {
+    // A deterministic injected fault fails every attempt: with N retries
+    // the harness runs 1 + N attempts, then records a typed failure.
+    let tel = isacmp::telemetry::global();
+    let before = tel.counter("cell_retries");
+    let fault = isacmp::FaultPlan::parse("trap@1000").unwrap();
+    let opts = CellOptions { retries: 2, fault: Some(fault), ..Default::default() };
+    let err = run_cell_opts(
+        Workload::Stream,
+        IsaKind::RiscV,
+        &Personality::gcc122(),
+        SizeClass::Test,
+        &opts,
+    )
+    .expect_err("deterministic fault fails every retry");
+    assert_eq!(err.kind(), "sim");
+    assert_eq!(tel.counter("cell_retries") - before, 2, "both granted retries were spent");
+}

@@ -15,7 +15,8 @@ use isacmp::{
 fn run_cell_records_spans_and_counters() {
     let tel = isacmp::telemetry::global();
     let before = tel.counter("cells_run");
-    run_cell(Workload::Stream, IsaKind::RiscV, &Personality::gcc122(), SizeClass::Test);
+    run_cell(Workload::Stream, IsaKind::RiscV, &Personality::gcc122(), SizeClass::Test)
+        .expect("cell measures");
     assert!(tel.counter("cells_run") > before);
     assert!(tel.counter("instructions_retired") > 0);
 
@@ -61,7 +62,8 @@ fn profiling_observer_attributes_guest_execution() {
 #[test]
 fn run_report_round_trips_through_json() {
     let tel = isacmp::telemetry::global();
-    run_cell(Workload::Lbm, IsaKind::AArch64, &Personality::gcc92(), SizeClass::Test);
+    run_cell(Workload::Lbm, IsaKind::AArch64, &Personality::gcc92(), SizeClass::Test)
+        .expect("cell measures");
     let report = RunReport::new("integration-test")
         .with_run(std::time::Duration::from_millis(12), 48_000, Some(0))
         .finish_from(tel);
