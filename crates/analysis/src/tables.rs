@@ -206,7 +206,10 @@ impl ResultMatrix {
 
     /// Figure 1 data: per-kernel path lengths, normalised to the GCC 9.2 /
     /// AArch64 total for the same workload, as CSV
-    /// (`workload,compiler,isa,kernel,instructions,normalised`).
+    /// (`workload,compiler,isa,kernel,instructions,normalised`). Failed
+    /// cells are not dropped: each contributes one placeholder row with
+    /// `ERR(<kind>)` in the kernel column and zeroed measurements, so a
+    /// figure built from a partial matrix shows *where* data is missing.
     pub fn fig1_csv(&self) -> String {
         let mut out = String::from("workload,compiler,isa,kernel,instructions,normalised\n");
         for w in self.workloads() {
@@ -228,12 +231,20 @@ impl ResultMatrix {
                     ));
                 }
             }
+            for f in self.failures.iter().filter(|f| f.workload == w) {
+                out.push_str(&format!(
+                    "{},{},{},ERR({}),0,0.000000\n",
+                    f.workload, f.compiler, f.isa, f.kind
+                ));
+            }
         }
         out
     }
 
     /// Figure 2 data: mean ILP per window size, GCC 12.2 binaries, as CSV
-    /// (`workload,isa,window,mean_cp,mean_ilp`).
+    /// (`workload,isa,window,mean_cp,mean_ilp`). Failed GCC 12.2 cells
+    /// emit one `ERR(<kind>)` placeholder row (zeroed measurements)
+    /// instead of vanishing from the figure.
     pub fn fig2_csv(&self) -> String {
         let mut out = String::from("workload,isa,window,mean_cp,mean_ilp\n");
         for c in self.cells.iter().filter(|c| c.compiler == "gcc-12.2") {
@@ -243,6 +254,9 @@ impl ResultMatrix {
                     c.workload, c.isa, size, mean_cp, mean_ilp
                 ));
             }
+        }
+        for f in self.failures.iter().filter(|f| f.compiler == "gcc-12.2") {
+            out.push_str(&format!("{},{},ERR({}),0.000,0.000\n", f.workload, f.isa, f.kind));
         }
         out
     }
@@ -570,6 +584,36 @@ mod tests {
         let csv = sample().fig2_csv();
         assert!(!csv.contains("gcc-9.2"));
         assert!(csv.lines().count() > 1);
+    }
+
+    #[test]
+    fn fig1_emits_err_rows_for_failures() {
+        let m = degraded();
+        let csv = m.fig1_csv();
+        assert!(
+            csv.contains("STREAM,gcc-12.2,RISC-V,ERR(timeout),0,0.000000"),
+            "failed cell keeps a placeholder row:\n{csv}"
+        );
+        assert!(
+            csv.contains("LBM,gcc-9.2,AArch64,ERR(panic),0,0.000000"),
+            "all-failed workload still appears:\n{csv}"
+        );
+        assert!(csv.contains("STREAM,gcc-9.2,AArch64,k1,500,0.500000"), "healthy rows intact");
+        // Every row has the full 6-column shape.
+        for line in csv.lines().skip(1) {
+            assert_eq!(line.split(',').count(), 6, "malformed row: {line}");
+        }
+    }
+
+    #[test]
+    fn fig2_emits_err_rows_for_gcc122_failures() {
+        let m = degraded();
+        let csv = m.fig2_csv();
+        assert!(csv.contains("STREAM,RISC-V,ERR(timeout),0.000,0.000"), "{csv}");
+        assert!(!csv.contains("ERR(panic)"), "gcc-9.2 failures stay out of figure 2:\n{csv}");
+        for line in csv.lines().skip(1) {
+            assert_eq!(line.split(',').count(), 5, "malformed row: {line}");
+        }
     }
 
     #[test]

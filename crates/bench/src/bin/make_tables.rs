@@ -23,13 +23,19 @@
 //! - `--inject <workload/compiler/isa:fault>`: deterministically inject a
 //!   fault into matching cells, e.g. `STREAM/gcc-12.2/RISC-V:trap@1000`
 //!   (fault grammar: `trap@N`, `fetch@N[:MASK]`, `read@N[:BIT]`).
+//! - `--campaign <seed>:<n-faults>`: seeded multi-fault campaign injected
+//!   into every cell; the sampled schedule is written to
+//!   `results/campaign.json` for exact replay.
+//! - `--resume <matrix.json>`: reload a prior (partial) matrix and re-run
+//!   only its recorded failures; healthy cells are kept as-is. Mutually
+//!   exclusive with `--campaign`.
 
 use std::fs;
 
 use isacmp::{
-    compile, run_cell, run_matrix_opts, run_pipeline, run_pipeline_full, CacheConfig,
-    ExperimentCell, InjectSpec, IsaKind, MatrixOptions, Personality, PipelineConfig, ResultMatrix,
-    SizeClass, Workload,
+    compile, resume_matrix, run_cell, run_matrix_opts, run_pipeline, run_pipeline_full,
+    CacheConfig, CampaignManifest, CampaignSpec, ExperimentCell, InjectSpec, IsaKind,
+    MatrixOptions, Personality, PipelineConfig, ResultMatrix, SizeClass, Workload,
 };
 
 fn parse_flag_value(args: &[String], flag: &str) -> Option<String> {
@@ -75,7 +81,27 @@ fn parse_matrix_opts(args: &[String]) -> MatrixOptions {
             std::process::exit(2);
         })
     });
-    MatrixOptions { deadline, retries, inject }
+    let campaign = parse_flag_value(args, "--campaign").map(|s| {
+        let spec = CampaignSpec::parse(&s).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
+        // Sample through the manifest so the schedule we inject is byte-
+        // identical to the one recorded in results/campaign.json.
+        let manifest = CampaignManifest::sample(spec);
+        fs::create_dir_all("results").ok();
+        write_out("results/campaign.json", manifest.to_json());
+        eprintln!(
+            "campaign: seed {:#x}, {} fault(s) per cell; manifest written to results/campaign.json",
+            manifest.seed,
+            manifest.specs.len()
+        );
+        manifest.campaign().unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        })
+    });
+    MatrixOptions { deadline, retries, inject, campaign }
 }
 
 /// `fs::write` with an actionable diagnostic instead of a panic.
@@ -95,9 +121,21 @@ fn cell_or_die(w: Workload, isa: IsaKind, p: &Personality, size: SizeClass) -> E
     })
 }
 
-fn matrix(size: SizeClass, opts: &MatrixOptions) -> ResultMatrix {
-    eprintln!("running the experiment matrix (5 workloads x 2 compilers x 2 ISAs) ...");
-    let m = run_matrix_opts(&Workload::ALL, size, opts);
+fn matrix(size: SizeClass, opts: &MatrixOptions, resume_from: Option<&ResultMatrix>) -> ResultMatrix {
+    let m = match resume_from {
+        Some(prior) => {
+            eprintln!(
+                "resuming matrix: {} healthy cell(s) kept, {} failure(s) re-run ...",
+                prior.cells.len(),
+                prior.failures.len()
+            );
+            resume_matrix(prior, size, opts)
+        }
+        None => {
+            eprintln!("running the experiment matrix (5 workloads x 2 compilers x 2 ISAs) ...");
+            run_matrix_opts(&Workload::ALL, size, opts)
+        }
+    };
     if !m.is_complete() {
         eprint!(
             "{} of {} cells failed (degraded matrix):\n{}",
@@ -352,8 +390,24 @@ fn main() {
     let what = args.first().map(|s| s.as_str()).unwrap_or("all");
     let size = parse_size(&args);
     let metrics_path = parse_flag_value(&args, "--metrics");
+    // Reject contradictory flags before parse_matrix_opts samples (and
+    // writes) a campaign manifest for a run that will never happen.
+    if args.iter().any(|a| a == "--campaign") && args.iter().any(|a| a == "--resume") {
+        eprintln!("--campaign and --resume are mutually exclusive");
+        std::process::exit(2);
+    }
     let matrix_opts = parse_matrix_opts(&args);
     let strict = args.iter().any(|a| a == "--strict");
+    let resume_prior = parse_flag_value(&args, "--resume").map(|p| {
+        let text = fs::read_to_string(&p).unwrap_or_else(|e| {
+            eprintln!("cannot read {p}: {e}");
+            std::process::exit(2);
+        });
+        ResultMatrix::from_json(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse {p}: {e}");
+            std::process::exit(2);
+        })
+    });
     for a in &args {
         if a == "--progress" {
             std::env::set_var("ISACMP_PROGRESS", "1");
@@ -371,7 +425,7 @@ fn main() {
     // report are written).
     let mut failed_cells = 0usize;
     let mut matrix = |size| {
-        let m = matrix(size, &matrix_opts);
+        let m = matrix(size, &matrix_opts, resume_prior.as_ref());
         failed_cells += m.failures.len();
         m
     };

@@ -17,13 +17,16 @@
 //! - `--deadline-secs <s>`: wall-clock watchdog; a trip exits 124.
 //! - `--inject <fault>`: deterministic fault injection (`trap@N`,
 //!   `fetch@N[:MASK]`, `read@N[:BIT]`).
+//! - `--campaign <seed>:<n>`: seeded multi-fault campaign (`n` sampled
+//!   faults); mutually exclusive with `--inject`. The fired count is
+//!   reported after the run.
 //!
 //! Exits with the guest's exit code (124 on a watchdog trip).
 
 use isacmp::{
-    AArch64Executor, CpuState, DualCriticalPath, EmulationCore, FaultPlan, IsaKind, Observer,
-    PathLength, Program, ProfilingObserver, RiscVExecutor, RunReport, SimError, Tx2Latency,
-    WindowedCp,
+    AArch64Executor, Campaign, CampaignSpec, CpuState, DualCriticalPath, EmulationCore,
+    FaultInjector, FaultPlan, IsaKind, Observer, PathLength, Program, ProfilingObserver,
+    RiscVExecutor, RunReport, SimError, Tx2Latency, WindowedCp, DEFAULT_CAMPAIGN_WINDOW,
 };
 
 /// Exit code for a watchdog trip, matching the `timeout(1)` convention.
@@ -35,6 +38,7 @@ struct Args {
     progress: Option<u64>,
     deadline: Option<std::time::Duration>,
     inject: Option<FaultPlan>,
+    campaign: Option<Campaign>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -43,6 +47,7 @@ fn parse_args() -> Result<Args, String> {
     let mut progress = None;
     let mut deadline = None;
     let mut inject = None;
+    let mut campaign = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         if a == "--metrics" {
@@ -59,6 +64,10 @@ fn parse_args() -> Result<Args, String> {
         } else if a == "--inject" {
             let s = it.next().ok_or("--inject needs a fault spec")?;
             inject = Some(FaultPlan::parse(&s)?);
+        } else if a == "--campaign" {
+            let s = it.next().ok_or("--campaign needs <seed>:<n-faults>")?;
+            let spec = CampaignSpec::parse(&s)?;
+            campaign = Some(Campaign::sample(spec.seed, spec.n_faults, DEFAULT_CAMPAIGN_WINDOW));
         } else if a.starts_with("--") {
             return Err(format!("unknown flag {a:?}"));
         } else if elf.is_none() {
@@ -67,15 +76,19 @@ fn parse_args() -> Result<Args, String> {
             return Err(format!("unexpected argument {a:?}"));
         }
     }
+    if inject.is_some() && campaign.is_some() {
+        return Err("--inject and --campaign are mutually exclusive".into());
+    }
     Ok(Args {
         elf: elf.ok_or(
             "usage: run_elf <binary.elf> [--metrics out.json] [--progress[=N]] \
-             [--deadline-secs s] [--inject fault]",
+             [--deadline-secs s] [--inject fault] [--campaign seed:n]",
         )?,
         metrics,
         progress,
         deadline,
         inject,
+        campaign,
     })
 }
 
@@ -88,27 +101,27 @@ fn run(
     program: &Program,
     obs: &mut [&mut dyn Observer],
     deadline: Option<std::time::Duration>,
-    inject: Option<&FaultPlan>,
+    injector: Option<Box<dyn FaultInjector>>,
 ) -> Result<(CpuState, isacmp::RunStats), RunFailure> {
     fn core_for<E: isacmp::IsaExecutor>(
         exec: E,
         deadline: Option<std::time::Duration>,
-        inject: Option<&FaultPlan>,
+        injector: Option<Box<dyn FaultInjector>>,
     ) -> EmulationCore<E> {
         let mut core = EmulationCore::new(exec);
         if let Some(d) = deadline {
             core = core.with_deadline(d);
         }
-        if let Some(plan) = inject {
-            core = core.with_injector(Box::new(plan.clone()));
+        if let Some(inj) = injector {
+            core = core.with_injector(inj);
         }
         core
     }
     let mut st = CpuState::new();
     program.load(&mut st).map_err(RunFailure::Load)?;
     let result = match program.isa {
-        IsaKind::RiscV => core_for(RiscVExecutor::new(), deadline, inject).run(&mut st, obs),
-        IsaKind::AArch64 => core_for(AArch64Executor::new(), deadline, inject).run(&mut st, obs),
+        IsaKind::RiscV => core_for(RiscVExecutor::new(), deadline, injector).run(&mut st, obs),
+        IsaKind::AArch64 => core_for(AArch64Executor::new(), deadline, injector).run(&mut st, obs),
     };
     match result {
         Ok(stats) => Ok((st, stats)),
@@ -144,13 +157,32 @@ fn main() {
     if let Some(plan) = &args.inject {
         eprintln!("fault injection armed: {}", plan.describe());
     }
+    if let Some(c) = &args.campaign {
+        eprintln!("{}", c.describe());
+        for plan in c.plans() {
+            eprintln!("  {}", plan.spec());
+        }
+        tel.counter_add("faults_scheduled", c.len() as u64);
+    }
+    let injector: Option<Box<dyn FaultInjector>> = match (&args.inject, &args.campaign) {
+        (Some(plan), _) => Some(Box::new(plan.clone())),
+        (None, Some(c)) => Some(Box::new(c.clone())),
+        (None, None) => None,
+    };
+    let report_fired = || {
+        if let Some(c) = &args.campaign {
+            eprintln!("campaign: {} of {} scheduled fault(s) fired", c.fired_count(), c.len());
+            isacmp::telemetry::global().counter_add("faults_fired", c.fired_count());
+        }
+    };
     let (st, stats) = {
         let _span = tel.enter("emulate");
         let mut obs: Vec<&mut dyn Observer> = vec![&mut pl, &mut cp, &mut wcp, &mut profile];
-        run(&program, &mut obs, args.deadline, args.inject.as_ref()).unwrap_or_else(|f| {
+        run(&program, &mut obs, args.deadline, injector).unwrap_or_else(|f| {
             match f {
                 RunFailure::Load(e) => eprintln!("cannot load {path}: {e}"),
                 RunFailure::Guest { err, pc, instret } => {
+                    report_fired();
                     eprintln!(
                         "guest fault: {err} (pc={pc:#x}, after {instret} retired instructions)"
                     );
@@ -162,6 +194,7 @@ fn main() {
             std::process::exit(1);
         })
     };
+    report_fired();
     tel.counter_add("instructions_retired", stats.retired);
 
     println!("{path}");

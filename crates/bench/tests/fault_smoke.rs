@@ -79,3 +79,60 @@ fn bad_inject_spec_is_a_usage_error() {
         make_tables("badspec", &["table1", "--size", "test", "--inject", "nonsense"]);
     assert_eq!(code, 2, "malformed --inject is a usage error:\n{stderr}");
 }
+
+#[test]
+fn campaign_then_resume_heals_the_matrix() {
+    // Leg 1: a seeded campaign injects into every cell. Seed 7 samples
+    // three traps inside the default window (< every Test-size path), so
+    // every cell degrades and --strict flips the exit code.
+    let (code, stdout, stderr) = make_tables(
+        "campaign",
+        &["table1", "--size", "test", "--campaign", "7:3", "--strict"],
+    );
+    assert_eq!(code, 3, "campaign faults + --strict must exit 3:\n{stderr}");
+    assert!(stdout.contains("ERR(sim)"), "campaign faults mark cells:\n{stdout}");
+    assert!(
+        stderr.contains("campaign: seed 0x7, 3 fault(s) per cell"),
+        "stderr announces the campaign:\n{stderr}"
+    );
+
+    // The sampled schedule is a replayable on-disk artifact.
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("campaign");
+    let manifest =
+        std::fs::read_to_string(dir.join("results/campaign.json")).expect("campaign.json written");
+    for needle in ["\"seed\": \"0x7\"", "\"window\"", "\"faults\"", "trap@"] {
+        assert!(manifest.contains(needle), "campaign.json: {manifest}");
+    }
+
+    // Leg 2: resume the degraded matrix without the campaign. Every
+    // recorded failure re-runs healthy, so --strict now passes.
+    let (code, stdout, stderr) = make_tables(
+        "campaign",
+        &["table1", "--size", "test", "--resume", "results/matrix.json", "--strict"],
+    );
+    assert_eq!(code, 0, "resumed matrix must heal and pass --strict:\n{stderr}");
+    assert!(!stdout.contains("ERR("), "no failures after the resume:\n{stdout}");
+    assert!(stderr.contains("resuming matrix"), "stderr announces the resume:\n{stderr}");
+}
+
+#[test]
+fn campaign_and_resume_are_mutually_exclusive() {
+    let (code, _stdout, stderr) = make_tables(
+        "camexcl",
+        &[
+            "table1", "--size", "test", "--campaign", "7:3", "--resume", "results/matrix.json",
+        ],
+    );
+    assert_eq!(code, 2, "contradictory flags are a usage error:\n{stderr}");
+    assert!(stderr.contains("mutually exclusive"), "stderr: {stderr}");
+    // The rejected run must not leave a manifest behind.
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("camexcl");
+    assert!(!dir.join("results/campaign.json").exists(), "no artifact from a rejected run");
+}
+
+#[test]
+fn bad_campaign_spec_is_a_usage_error() {
+    let (code, _stdout, stderr) =
+        make_tables("badcamp", &["table1", "--size", "test", "--campaign", "7:zero"]);
+    assert_eq!(code, 2, "malformed --campaign is a usage error:\n{stderr}");
+}

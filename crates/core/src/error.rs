@@ -10,7 +10,7 @@
 use std::time::Duration;
 
 use analysis::CellFailure;
-use simcore::{FaultPlan, SimError};
+use simcore::{Campaign, FaultPlan, SimError, DEFAULT_FAULT_SEED};
 
 /// Why one (workload, compiler, ISA) cell failed.
 #[derive(Debug, Clone, PartialEq)]
@@ -148,14 +148,34 @@ pub struct CellOptions {
     /// Retries for [`CellError::retryable`] failures (clamped to
     /// [`MAX_CELL_RETRIES`]).
     pub retries: u32,
-    /// Deterministic fault to inject into the run.
+    /// Deterministic one-shot fault to inject into the run.
     pub fault: Option<FaultPlan>,
+    /// Seeded multi-fault schedule to inject into the run (may coexist
+    /// with `fault`; the schedules merge).
+    pub campaign: Option<Campaign>,
 }
 
 impl CellOptions {
     /// Retries actually granted (caller's ask, capped).
     pub fn effective_retries(&self) -> u32 {
         self.retries.min(MAX_CELL_RETRIES)
+    }
+
+    /// Merge the one-shot fault and the campaign schedule into one
+    /// freshly-armed injector. A new `Campaign` (fresh fired state) is
+    /// built per call, so every retry of a cell deterministically
+    /// re-injects the same schedule from scratch.
+    pub fn armed_campaign(&self) -> Option<Campaign> {
+        let mut plans: Vec<FaultPlan> =
+            self.campaign.as_ref().map(|c| c.plans().to_vec()).unwrap_or_default();
+        if let Some(f) = &self.fault {
+            plans.push(f.clone());
+        }
+        if plans.is_empty() {
+            return None;
+        }
+        let seed = self.campaign.as_ref().map(Campaign::seed).unwrap_or(DEFAULT_FAULT_SEED);
+        Some(Campaign::from_plans(plans, seed))
     }
 }
 
@@ -225,16 +245,25 @@ pub struct MatrixOptions {
     pub retries: u32,
     /// Targeted deterministic fault injection.
     pub inject: Option<InjectSpec>,
+    /// Seeded multi-fault campaign, injected into *every* cell (each cell
+    /// gets its own freshly-armed copy of the same schedule, so the sweep
+    /// is deterministic across cells and runs).
+    pub campaign: Option<Campaign>,
 }
 
 impl MatrixOptions {
     /// The per-cell options for one labelled cell (attaching the injected
-    /// fault when the selector matches).
+    /// fault when the selector matches, and the campaign unconditionally).
     pub fn cell_options(&self, workload: &str, compiler: &str, isa: &str) -> CellOptions {
         let fault = self.inject.as_ref().and_then(|i| {
             i.selector.matches(workload, compiler, isa).then(|| i.plan.clone())
         });
-        CellOptions { deadline: self.deadline, retries: self.retries, fault }
+        CellOptions {
+            deadline: self.deadline,
+            retries: self.retries,
+            fault,
+            campaign: self.campaign.clone(),
+        }
     }
 }
 
@@ -296,5 +325,31 @@ mod tests {
     fn retries_are_capped() {
         let o = CellOptions { retries: 99, ..Default::default() };
         assert_eq!(o.effective_retries(), MAX_CELL_RETRIES);
+    }
+
+    #[test]
+    fn armed_campaign_merges_fault_and_schedule() {
+        assert!(CellOptions::default().armed_campaign().is_none());
+        let o = CellOptions {
+            fault: Some(FaultPlan::parse("trap@10").unwrap()),
+            campaign: Some(Campaign::sample(7, 3, 100)),
+            ..Default::default()
+        };
+        let armed = o.armed_campaign().unwrap();
+        assert_eq!(armed.len(), 4, "3 sampled plans + the one-shot fault");
+        assert_eq!(armed.seed(), 7, "campaign seed wins when both are set");
+        assert_eq!(armed.fired_count(), 0, "armed fresh");
+        // Each arming is independent: new fired state every retry.
+        let again = o.armed_campaign().unwrap();
+        assert_eq!(again.fired_count(), 0);
+    }
+
+    #[test]
+    fn matrix_campaign_reaches_every_cell() {
+        let opts = MatrixOptions { campaign: Some(Campaign::sample(1, 2, 100)), ..Default::default() };
+        let a = opts.cell_options("STREAM", "gcc-9.2", "AArch64");
+        let b = opts.cell_options("LBM", "gcc-12.2", "RISC-V");
+        assert_eq!(a.campaign.as_ref().unwrap().len(), 2);
+        assert_eq!(b.campaign.as_ref().unwrap().len(), 2);
     }
 }

@@ -34,8 +34,10 @@
 //! watchdogs, bounded retries, and deterministic fault injection
 //! ([`FaultPlan`]) for proving all of that works.
 
+mod campaign;
 mod error;
 
+pub use campaign::CampaignManifest;
 pub use error::{
     CellError, CellOptions, CellSelector, InjectSpec, MatrixOptions, MAX_CELL_RETRIES,
 };
@@ -49,12 +51,13 @@ pub use isa_aarch64::AArch64Executor;
 pub use isa_riscv::RiscVExecutor;
 pub use kernelgen::{compile, interpret, Compiled, KernelProgram, Personality};
 pub use simcore::{
-    CpuState, EmulationCore, FaultKind, FaultPlan, InstGroup, IsaExecutor, IsaKind, Observer,
-    Program, RetiredInst, RunStats, SimError,
+    Campaign, CampaignSpec, CpuState, EmulationCore, FaultInjector, FaultKind, FaultPlan,
+    InjectAction, InstGroup, IsaExecutor, IsaKind, Observer, Program, RetiredInst, RunStats,
+    SimError, DEFAULT_CAMPAIGN_WINDOW,
 };
 pub use uarch::{
-    BimodalPredictor, BranchStats, CacheConfig, CacheModel, CacheStats, GsharePredictor,
-    InOrderCore, LatencyModel, OoOCore,
+    run_guest, BimodalPredictor, BranchStats, CacheConfig, CacheModel, CacheStats,
+    GsharePredictor, InOrderCore, LatencyModel, OoOCore,
     PipelineConfig, PipelineStats, Tx2Latency, UnitLatency,
 };
 pub use telemetry;
@@ -81,6 +84,19 @@ pub fn try_execute(
     deadline: Option<std::time::Duration>,
     fault: Option<&FaultPlan>,
 ) -> Result<(CpuState, RunStats), CellError> {
+    let injector: Option<Box<dyn FaultInjector>> =
+        fault.map(|p| Box::new(p.clone()) as Box<dyn FaultInjector>);
+    try_execute_with(compiled, observers, deadline, injector)
+}
+
+/// [`try_execute`] with an arbitrary [`FaultInjector`] (e.g. a whole
+/// [`Campaign`]) instead of a single plan.
+pub fn try_execute_with(
+    compiled: &Compiled,
+    observers: &mut [&mut dyn Observer],
+    deadline: Option<std::time::Duration>,
+    injector: Option<Box<dyn FaultInjector>>,
+) -> Result<(CpuState, RunStats), CellError> {
     let _span = telemetry::global().enter("emulate");
     let mut st = CpuState::new();
     compiled.program.load(&mut st).map_err(CellError::Load)?;
@@ -88,24 +104,24 @@ pub fn try_execute(
     fn build_core<E: IsaExecutor>(
         exec: E,
         deadline: Option<std::time::Duration>,
-        fault: Option<&FaultPlan>,
+        injector: Option<Box<dyn FaultInjector>>,
     ) -> EmulationCore<E> {
         let mut core = EmulationCore::new(exec);
         if let Some(d) = deadline {
             core = core.with_deadline(d);
         }
-        if let Some(plan) = fault {
-            core = core.with_injector(Box::new(plan.clone()));
+        if let Some(inj) = injector {
+            core = core.with_injector(inj);
         }
         core
     }
 
     let result = match compiled.program.isa {
         IsaKind::RiscV => {
-            build_core(RiscVExecutor::new(), deadline, fault).run(&mut st, observers)
+            build_core(RiscVExecutor::new(), deadline, injector).run(&mut st, observers)
         }
         IsaKind::AArch64 => {
-            build_core(AArch64Executor::new(), deadline, fault).run(&mut st, observers)
+            build_core(AArch64Executor::new(), deadline, injector).run(&mut st, observers)
         }
     };
     let stats = result.map_err(|err| {
@@ -160,8 +176,19 @@ fn run_cell_attempt(
     let mut wcp = WindowedCp::paper();
     {
         let mut obs: Vec<&mut dyn Observer> = vec![&mut pl, &mut cp, &mut wcp];
-        let (st, _stats) =
-            try_execute(&compiled, &mut obs, opts.deadline, opts.fault.as_ref())?;
+        // Arm the fault schedule fresh for this attempt; the shared fired
+        // counter lets us account for injections even when the run dies.
+        let armed = opts.armed_campaign();
+        if let Some(c) = &armed {
+            tel.counter_add("faults_scheduled", c.len() as u64);
+        }
+        let injector: Option<Box<dyn FaultInjector>> =
+            armed.as_ref().map(|c| Box::new(c.clone()) as Box<dyn FaultInjector>);
+        let run = try_execute_with(&compiled, &mut obs, opts.deadline, injector);
+        if let Some(c) = &armed {
+            tel.counter_add("faults_fired", c.fired_count());
+        }
+        let (st, _stats) = run?;
         // Cross-check the guest checksum against the reference interpreter:
         // every measured cell is also a correctness test, and the gate that
         // turns injected silent corruption into a loud, typed failure.
@@ -176,6 +203,10 @@ fn run_cell_attempt(
                 expected_bits: expected.to_bits(),
                 got_bits: got.to_bits(),
             });
+        }
+        // Faults that fired yet left the measurement verifiably correct.
+        if let Some(c) = &armed {
+            tel.counter_add("faults_survived", c.fired_count());
         }
     }
 
@@ -295,20 +326,74 @@ pub fn run_matrix_opts(
     });
     let mut matrix = ResultMatrix::default();
     for ((w, p, isa), outcome) in combos.iter().zip(outcomes) {
-        let (workload, compiler, isa) = (w.name(), p.label(), isa_label(*isa));
-        match outcome {
-            Ok(Ok(cell)) => matrix.cells.push(cell),
-            Ok(Err(e)) => {
-                let retries = if e.retryable() { opts.retries.min(MAX_CELL_RETRIES) } else { 0 };
-                matrix.failures.push(e.to_failure(workload, compiler, isa, retries as u64));
-            }
-            // A panic that escaped even run_cell's catch_unwind (or a lost
-            // worker): record it, keep the rest of the matrix.
-            Err(msg) => {
-                let e = CellError::Panic { msg };
-                matrix.failures.push(e.to_failure(workload, compiler, isa, 0));
-            }
+        record_outcome(&mut matrix, w.name(), p.label(), isa_label(*isa), outcome, opts.retries);
+    }
+    matrix
+}
+
+/// Fold one worker outcome into the matrix: a measured cell, a typed
+/// failure, or (worst case) a panic that escaped even `run_cell`'s
+/// catch_unwind / a lost worker — recorded, never fatal.
+fn record_outcome(
+    matrix: &mut ResultMatrix,
+    workload: &str,
+    compiler: &str,
+    isa: &str,
+    outcome: Result<Result<ExperimentCell, CellError>, String>,
+    retries_asked: u32,
+) {
+    match outcome {
+        Ok(Ok(cell)) => matrix.cells.push(cell),
+        Ok(Err(e)) => {
+            let retries = if e.retryable() { retries_asked.min(MAX_CELL_RETRIES) } else { 0 };
+            matrix.failures.push(e.to_failure(workload, compiler, isa, retries as u64));
         }
+        Err(msg) => {
+            let e = CellError::Panic { msg };
+            matrix.failures.push(e.to_failure(workload, compiler, isa, 0));
+        }
+    }
+}
+
+/// Map a failure record's labels back to a runnable combination. `None`
+/// for labels this build does not know (e.g. a matrix produced by a newer
+/// workload set) — those are carried forward untouched by a resume.
+fn combo_for(workload: &str, compiler: &str, isa: &str) -> Option<(Workload, Personality, IsaKind)> {
+    let w = Workload::ALL.iter().copied().find(|w| w.name() == workload)?;
+    let p = [Personality::gcc92(), Personality::gcc122()]
+        .into_iter()
+        .find(|p| p.label() == compiler)?;
+    let i = [IsaKind::AArch64, IsaKind::RiscV].into_iter().find(|&i| isa_label(i) == isa)?;
+    Some((w, p, i))
+}
+
+/// Resume a partial matrix: keep every measured cell from `prior` and
+/// re-run only its recorded `failures` (in parallel, with `opts`).
+/// Failures whose labels this build cannot map to a combination are
+/// carried forward unchanged rather than silently dropped.
+///
+/// Telemetry counters: `cells_skipped` (prior healthy cells kept) and
+/// `cells_resumed` (failed cells re-run).
+pub fn resume_matrix(prior: &ResultMatrix, size: SizeClass, opts: &MatrixOptions) -> ResultMatrix {
+    let tel = telemetry::global();
+    let _span = tel.enter("matrix_resume");
+    let mut matrix =
+        ResultMatrix { cells: prior.cells.clone(), failures: Vec::new() };
+    tel.counter_add("cells_skipped", prior.cells.len() as u64);
+    let mut reruns: Vec<(Workload, Personality, IsaKind)> = Vec::new();
+    for f in &prior.failures {
+        match combo_for(&f.workload, &f.compiler, &f.isa) {
+            Some(combo) => reruns.push(combo),
+            None => matrix.failures.push(f.clone()),
+        }
+    }
+    tel.counter_add("cells_resumed", reruns.len() as u64);
+    let outcomes = par_map(&reruns, |(w, p, isa)| {
+        let cell_opts = opts.cell_options(w.name(), p.label(), isa_label(*isa));
+        run_cell_opts(*w, *isa, p, size, &cell_opts)
+    });
+    for ((w, p, isa), outcome) in reruns.iter().zip(outcomes) {
+        record_outcome(&mut matrix, w.name(), p.label(), isa_label(*isa), outcome, opts.retries);
     }
     matrix
 }
@@ -354,9 +439,94 @@ fn par_map<T: Sync, R: Send>(
         .collect()
 }
 
+/// Either pipeline flavour behind one observer interface, so the guest-run
+/// plumbing below is written once.
+enum AnyPipeline {
+    InOrder(InOrderCore<Tx2Latency>),
+    OoO(OoOCore<Tx2Latency>),
+}
+
+impl AnyPipeline {
+    fn build(config: PipelineConfig, out_of_order: bool, dcache: Option<(CacheConfig, u64)>) -> Self {
+        if out_of_order {
+            let mut core = OoOCore::new(Tx2Latency, config);
+            if let Some((cfg, penalty)) = dcache {
+                core = core.with_dcache(cfg, penalty);
+            }
+            AnyPipeline::OoO(core)
+        } else {
+            let mut core = InOrderCore::new(Tx2Latency, config);
+            if let Some((cfg, penalty)) = dcache {
+                core = core.with_dcache(cfg, penalty);
+            }
+            AnyPipeline::InOrder(core)
+        }
+    }
+
+    fn observer(&mut self) -> &mut dyn Observer {
+        match self {
+            AnyPipeline::InOrder(c) => c,
+            AnyPipeline::OoO(c) => c,
+        }
+    }
+
+    fn stats(&self) -> PipelineStats {
+        match self {
+            AnyPipeline::InOrder(c) => c.stats(),
+            AnyPipeline::OoO(c) => c.stats(),
+        }
+    }
+}
+
+/// [`run_pipeline_full`] with typed errors and the same fault hooks as the
+/// emulation path: the guest is driven through `uarch::run_guest`, so a
+/// wall-clock deadline and a [`FaultInjector`] (plan or whole campaign)
+/// apply to the pipeline-timed run exactly as they do to [`try_execute`].
+/// Returns the final architectural state alongside the timing stats so
+/// differential tests can compare the two paths.
+pub fn try_run_pipeline_full(
+    workload: Workload,
+    isa: IsaKind,
+    personality: &Personality,
+    size: SizeClass,
+    config: PipelineConfig,
+    out_of_order: bool,
+    dcache: Option<(CacheConfig, u64)>,
+    deadline: Option<std::time::Duration>,
+    injector: Option<Box<dyn FaultInjector>>,
+) -> Result<(CpuState, PipelineStats), CellError> {
+    let _span = telemetry::global().enter("pipeline");
+    let prog = workload.build(size);
+    let compiled = compile(&prog, isa, personality);
+    let mut st = CpuState::new();
+    compiled.program.load(&mut st).map_err(CellError::Load)?;
+    let mut core = AnyPipeline::build(config, out_of_order, dcache);
+    let result = match compiled.program.isa {
+        IsaKind::RiscV => {
+            uarch::run_guest(core.observer(), RiscVExecutor::new(), &mut st, deadline, injector)
+        }
+        IsaKind::AArch64 => {
+            uarch::run_guest(core.observer(), AArch64Executor::new(), &mut st, deadline, injector)
+        }
+    };
+    let stats = result.map_err(|err| {
+        let instret = st.instret;
+        if err.is_watchdog() {
+            CellError::Timeout { err, instret }
+        } else {
+            CellError::Sim { err, instret }
+        }
+    })?;
+    if stats.exit_code != 0 {
+        return Err(CellError::NonZeroExit { code: stats.exit_code });
+    }
+    Ok((st, core.stats()))
+}
+
 /// Run a workload through a trace-driven pipeline model (experiment E7,
 /// the paper's Future Work). `dcache` optionally attaches an L1D model:
-/// `(geometry, miss penalty in cycles)`.
+/// `(geometry, miss penalty in cycles)`. Convenience wrapper around
+/// [`try_run_pipeline_full`]; panics on guest failure.
 pub fn run_pipeline_full(
     workload: Workload,
     isa: IsaKind,
@@ -366,25 +536,9 @@ pub fn run_pipeline_full(
     out_of_order: bool,
     dcache: Option<(CacheConfig, u64)>,
 ) -> PipelineStats {
-    let prog = workload.build(size);
-    let compiled = compile(&prog, isa, personality);
-    if out_of_order {
-        let mut core = OoOCore::new(Tx2Latency, config);
-        if let Some((cfg, penalty)) = dcache {
-            core = core.with_dcache(cfg, penalty);
-        }
-        let mut obs: Vec<&mut dyn Observer> = vec![&mut core];
-        execute(&compiled, &mut obs);
-        core.stats()
-    } else {
-        let mut core = InOrderCore::new(Tx2Latency, config);
-        if let Some((cfg, penalty)) = dcache {
-            core = core.with_dcache(cfg, penalty);
-        }
-        let mut obs: Vec<&mut dyn Observer> = vec![&mut core];
-        execute(&compiled, &mut obs);
-        core.stats()
-    }
+    try_run_pipeline_full(workload, isa, personality, size, config, out_of_order, dcache, None, None)
+        .map(|(_, stats)| stats)
+        .unwrap_or_else(|e| panic!("run_pipeline_full({}): {e}", isa_label(isa)))
 }
 
 /// [`run_pipeline_full`] with ideal (single-cycle-hit) memory — the

@@ -10,17 +10,29 @@
 //! (default [`DEFAULT_FAULT_SEED`]), so the same spec + seed always
 //! produces the same fault.
 //!
+//! A [`Campaign`] scales this from one fault to a seeded *schedule* of
+//! many: `Campaign::sample(seed, n, window)` draws `n` fully explicit
+//! plans from a SplitMix64 stream (the same generator as the workloads'
+//! `DeckRng` input decks), so an entire coverage sweep is replayable from
+//! its seed alone. Each plan's canonical spec is recoverable via
+//! [`FaultPlan::spec`], which is what campaign manifests serialize.
+//!
 //! Injection is driven by the [`FaultInjector`] hook — the pre-step
 //! counterpart of [`crate::Observer`] — which the
 //! [`EmulationCore`](crate::EmulationCore) consults before every step when
-//! an injector is attached (see `EmulationCore::with_injector`). Read-value
-//! flips are armed directly on the [`Memory`](crate::Memory) at the start
-//! of the run.
+//! an injector is attached (see `EmulationCore::with_injector`). The uarch
+//! pipeline and cache cores accept the same hook through their `run_guest`
+//! drivers. Read-value flips are armed directly on the
+//! [`Memory`](crate::Memory) at the start of the run (several can be armed
+//! at once).
 //!
 //! The layer exists to *prove* the harness's fault tolerance: checksum
 //! verification must catch silent data corruption, and the experiment
-//! matrix must degrade one injected failure to one `ERR` cell instead of
+//! matrix must degrade each injected failure to an `ERR` cell instead of
 //! losing the whole run.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use crate::error::SimError;
 use crate::state::CpuState;
@@ -204,6 +216,162 @@ impl FaultPlan {
             }
         }
     }
+
+    /// Canonical replayable spec for this plan, in the grammar accepted by
+    /// [`FaultPlan::parse`]. Derived arguments are made explicit
+    /// (`fetch@N:0xMASK`, `read@N:B`), so a spec written into a campaign
+    /// manifest reproduces the exact same fault regardless of seed.
+    pub fn spec(&self) -> String {
+        match &self.kind {
+            FaultKind::TrapAt { at_instret } => format!("trap@{at_instret}"),
+            FaultKind::CorruptFetch { at_instret, .. } => {
+                format!("fetch@{at_instret}:{:#x}", self.fetch_mask())
+            }
+            FaultKind::FlipRead { nth, .. } => format!("read@{nth}:{}", self.read_bit()),
+        }
+    }
+
+    /// Draw one fully explicit plan from a SplitMix64 stream. Injection
+    /// points are sampled uniformly from `1..=window` (retirement counts
+    /// for `trap`/`fetch`, 1-based read ordinals for `read`); masks and bit
+    /// indices are always made explicit so [`FaultPlan::spec`] round-trips.
+    pub fn sample(stream: &mut u64, window: u64) -> Self {
+        let window = window.max(1);
+        let at = 1 + splitmix64(stream) % window;
+        let kind = match splitmix64(stream) % 3 {
+            0 => FaultKind::TrapAt { at_instret: at },
+            1 => {
+                let mask = (splitmix64(stream) as u32) | 1; // non-zero
+                FaultKind::CorruptFetch { at_instret: at, mask: Some(mask) }
+            }
+            _ => {
+                let bit = (splitmix64(stream) % 64) as u32;
+                FaultKind::FlipRead { nth: at, bit: Some(bit) }
+            }
+        };
+        FaultPlan::new(kind)
+    }
+}
+
+/// Default sampling window for campaign injection points. Chosen so that
+/// every Test-size workload (shortest path: ~4.3k retirements) executes
+/// past any sampled target — a campaign fault always has the chance to
+/// fire rather than landing beyond the end of the run.
+pub const DEFAULT_CAMPAIGN_WINDOW: u64 = 4096;
+
+/// Parsed form of the CLI campaign spec `<seed>:<n-faults>` (seed decimal
+/// or `0x` hex).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignSpec {
+    /// SplitMix64 seed the schedule is drawn from.
+    pub seed: u64,
+    /// How many faults to sample.
+    pub n_faults: usize,
+}
+
+impl CampaignSpec {
+    /// Parse `<seed>:<n-faults>`, e.g. `42:6` or `0xfa17:12`.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let (seed_str, n_str) = spec
+            .split_once(':')
+            .ok_or_else(|| format!("bad campaign spec {spec:?}: expected <seed>:<n-faults>"))?;
+        let seed = parse_u64_maybe_hex(seed_str)
+            .map_err(|e| format!("bad campaign spec {spec:?}: {e}"))?;
+        let n_faults: usize = n_str
+            .parse()
+            .map_err(|_| format!("bad campaign spec {spec:?}: {n_str:?} is not a fault count"))?;
+        if n_faults == 0 {
+            return Err(format!("bad campaign spec {spec:?}: a campaign needs at least one fault"));
+        }
+        Ok(CampaignSpec { seed, n_faults })
+    }
+}
+
+/// A seeded schedule of many faults injected into one run.
+///
+/// Sampling is pure SplitMix64, so `Campaign::sample(seed, n, window)`
+/// always yields the same schedule; the sampled plans are fully explicit
+/// (see [`FaultPlan::sample`]) so the whole campaign serializes to specs
+/// and replays exactly. The campaign implements [`FaultInjector`] by
+/// polling every still-armed plan each step; clones share a fired counter
+/// (an `Arc`), so the caller can observe how many faults actually fired
+/// even after handing a boxed clone to a core.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    plans: Vec<FaultPlan>,
+    seed: u64,
+    fired: Arc<AtomicU64>,
+}
+
+impl Campaign {
+    /// Draw `n` plans from a SplitMix64 stream seeded with `seed`.
+    pub fn sample(seed: u64, n: usize, window: u64) -> Self {
+        let mut stream = seed;
+        let plans = (0..n).map(|_| FaultPlan::sample(&mut stream, window)).collect();
+        Campaign { plans, seed, fired: Arc::new(AtomicU64::new(0)) }
+    }
+
+    /// Build a campaign from explicit plans (e.g. replayed from a
+    /// manifest's spec strings).
+    pub fn from_plans(plans: Vec<FaultPlan>, seed: u64) -> Self {
+        Campaign { plans, seed, fired: Arc::new(AtomicU64::new(0)) }
+    }
+
+    /// Append one more plan to the schedule.
+    pub fn push(&mut self, plan: FaultPlan) {
+        self.plans.push(plan);
+    }
+
+    /// The scheduled plans, in injection-priority order.
+    pub fn plans(&self) -> &[FaultPlan] {
+        &self.plans
+    }
+
+    /// The seed the schedule was sampled from (or tagged with).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// True when the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+
+    /// How many faults have fired so far, across every clone of this
+    /// campaign (the counter is shared).
+    pub fn fired_count(&self) -> u64 {
+        self.fired.load(Ordering::SeqCst)
+    }
+
+    /// Compact human description (for logs and `ERR` cell details).
+    pub fn describe(&self) -> String {
+        format!("campaign seed {:#x}: {} fault(s) scheduled", self.seed, self.plans.len())
+    }
+}
+
+impl FaultInjector for Campaign {
+    fn before_step(&mut self, state: &mut CpuState, retired: u64) -> Result<InjectAction, SimError> {
+        let mut action = InjectAction::Continue;
+        for plan in &mut self.plans {
+            if plan.fired {
+                continue;
+            }
+            let res = plan.before_step(state, retired);
+            if plan.fired {
+                self.fired.fetch_add(1, Ordering::SeqCst);
+            }
+            match res? {
+                InjectAction::Continue => {}
+                InjectAction::FlushDecodeCache => action = InjectAction::FlushDecodeCache,
+            }
+        }
+        Ok(action)
+    }
 }
 
 fn parse_u64_maybe_hex(s: &str) -> Result<u64, String> {
@@ -309,6 +477,93 @@ mod tests {
         assert!(matches!(err, SimError::Fault { .. }), "{err}");
         // Re-polling after firing is inert (the plan is one-shot).
         assert!(plan.before_step(&mut st, 3).is_ok());
+    }
+
+    #[test]
+    fn spec_round_trips_through_parse() {
+        let mut stream = 0xC0FF_EE00_u64;
+        for _ in 0..64 {
+            let plan = FaultPlan::sample(&mut stream, DEFAULT_CAMPAIGN_WINDOW);
+            let reparsed = FaultPlan::parse(&plan.spec()).unwrap();
+            assert_eq!(reparsed.spec(), plan.spec(), "spec must be canonical");
+            assert_eq!(reparsed.kind(), plan.kind(), "explicit args must survive");
+        }
+        // Derived (None) arguments become explicit in the spec.
+        let derived = FaultPlan::parse("fetch@9").unwrap();
+        assert_eq!(derived.spec(), format!("fetch@9:{:#x}", derived.fetch_mask()));
+        let derived = FaultPlan::parse("read@9").unwrap();
+        assert_eq!(derived.spec(), format!("read@9:{}", derived.read_bit()));
+    }
+
+    #[test]
+    fn sample_stays_inside_the_window() {
+        let mut stream = 7u64;
+        for _ in 0..256 {
+            let plan = FaultPlan::sample(&mut stream, 100);
+            let at = match *plan.kind() {
+                FaultKind::TrapAt { at_instret } => at_instret,
+                FaultKind::CorruptFetch { at_instret, mask } => {
+                    assert!(mask.unwrap() != 0);
+                    at_instret
+                }
+                FaultKind::FlipRead { nth, bit } => {
+                    assert!(bit.unwrap() < 64);
+                    nth
+                }
+            };
+            assert!((1..=100).contains(&at), "target {at} outside window");
+        }
+    }
+
+    #[test]
+    fn campaign_spec_parses_seed_and_count() {
+        assert_eq!(CampaignSpec::parse("42:6").unwrap(), CampaignSpec { seed: 42, n_faults: 6 });
+        assert_eq!(
+            CampaignSpec::parse("0xfa17:12").unwrap(),
+            CampaignSpec { seed: 0xFA17, n_faults: 12 }
+        );
+        for bad in ["", "42", "42:", ":6", "42:0", "zz:6", "42:x"] {
+            assert!(CampaignSpec::parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn campaign_sampling_is_seed_deterministic() {
+        let a = Campaign::sample(99, 8, DEFAULT_CAMPAIGN_WINDOW);
+        let b = Campaign::sample(99, 8, DEFAULT_CAMPAIGN_WINDOW);
+        let specs = |c: &Campaign| c.plans().iter().map(FaultPlan::spec).collect::<Vec<_>>();
+        assert_eq!(specs(&a), specs(&b));
+        let c = Campaign::sample(100, 8, DEFAULT_CAMPAIGN_WINDOW);
+        assert_ne!(specs(&a), specs(&c), "different seed, different schedule");
+    }
+
+    #[test]
+    fn campaign_fires_each_plan_and_shares_the_counter() {
+        let campaign = Campaign::from_plans(
+            vec![FaultPlan::parse("fetch@1:0x1").unwrap(), FaultPlan::parse("fetch@2:0x2").unwrap()],
+            0,
+        );
+        let mut live = campaign.clone(); // boxed-injector stand-in
+        let mut st = CpuState::new();
+        st.pc = 0x1000;
+        st.mem.write_u32(0x1000, 0).unwrap();
+        assert_eq!(live.before_step(&mut st, 0).unwrap(), InjectAction::Continue);
+        assert_eq!(live.before_step(&mut st, 1).unwrap(), InjectAction::FlushDecodeCache);
+        assert_eq!(live.before_step(&mut st, 2).unwrap(), InjectAction::FlushDecodeCache);
+        assert_eq!(st.mem.read_u32(0x1000).unwrap(), 0x3);
+        // The original observes the clone's firings through the shared Arc.
+        assert_eq!(campaign.fired_count(), 2);
+        assert_eq!(live.before_step(&mut st, 3).unwrap(), InjectAction::Continue);
+        assert_eq!(campaign.fired_count(), 2, "one-shot plans stay fired");
+    }
+
+    #[test]
+    fn campaign_trap_aborts_but_counts_first() {
+        let campaign = Campaign::from_plans(vec![FaultPlan::parse("trap@0").unwrap()], 0);
+        let mut live = campaign.clone();
+        let mut st = CpuState::new();
+        assert!(live.before_step(&mut st, 0).is_err());
+        assert_eq!(campaign.fired_count(), 1);
     }
 
     #[test]

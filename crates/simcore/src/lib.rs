@@ -53,7 +53,10 @@ pub mod state;
 
 pub use crate::core::{EmulationCore, IsaExecutor, RunStats};
 pub use crate::error::SimError;
-pub use crate::fault::{FaultInjector, FaultKind, FaultPlan, InjectAction, DEFAULT_FAULT_SEED};
+pub use crate::fault::{
+    Campaign, CampaignSpec, FaultInjector, FaultKind, FaultPlan, InjectAction,
+    DEFAULT_CAMPAIGN_WINDOW, DEFAULT_FAULT_SEED,
+};
 pub use crate::hash::{WordHasher, WordMap};
 pub use crate::mem::Memory;
 pub use crate::observer::{CountingObserver, NullObserver, Observer};

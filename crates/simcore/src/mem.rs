@@ -34,7 +34,7 @@ struct ReadFault {
 #[derive(Default)]
 pub struct Memory {
     pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
-    read_fault: Option<ReadFault>,
+    read_faults: Vec<ReadFault>,
 }
 
 impl Memory {
@@ -104,36 +104,37 @@ impl Memory {
     /// counting every `read_u8`..`read_u64`/`read_f64`, including
     /// instruction fetches): its returned value has `bit` (mod the read
     /// width) flipped. Stored bytes are untouched — a transient upset, the
-    /// kind checksum verification must catch.
+    /// kind checksum verification must catch. Several faults can be armed
+    /// at once (a multi-fault campaign); each counts reads from its own
+    /// arming point and fires independently.
     pub fn arm_read_fault(&mut self, nth: u64, bit: u32) {
-        self.read_fault = Some(ReadFault {
+        self.read_faults.push(ReadFault {
             remaining: Cell::new(nth.saturating_sub(1)),
             bit,
             fired: Cell::new(false),
         });
     }
 
-    /// True while an armed read fault has not fired yet.
+    /// True while any armed read fault has not fired yet.
     pub fn read_fault_pending(&self) -> bool {
-        self.read_fault.as_ref().is_some_and(|f| !f.fired.get())
+        self.read_faults.iter().any(|f| !f.fired.get())
     }
 
     #[inline]
-    fn apply_read_fault(&self, v: u64, width_bytes: usize) -> u64 {
-        match &self.read_fault {
-            None => v,
-            Some(f) if f.fired.get() => v,
-            Some(f) => {
-                let left = f.remaining.get();
-                if left == 0 {
-                    f.fired.set(true);
-                    v ^ (1u64 << (f.bit % (8 * width_bytes as u32)))
-                } else {
-                    f.remaining.set(left - 1);
-                    v
-                }
+    fn apply_read_fault(&self, mut v: u64, width_bytes: usize) -> u64 {
+        for f in &self.read_faults {
+            if f.fired.get() {
+                continue;
+            }
+            let left = f.remaining.get();
+            if left == 0 {
+                f.fired.set(true);
+                v ^= 1u64 << (f.bit % (8 * width_bytes as u32));
+            } else {
+                f.remaining.set(left - 1);
             }
         }
+        v
     }
 
     /// Read an unsigned little-endian integer of `SIZE` bytes.
@@ -285,6 +286,28 @@ mod tests {
         let mut raw = [0u8; 8];
         m.read_bytes(0x1000, &mut raw).unwrap();
         assert_eq!(raw, [0u8; 8]);
+    }
+
+    #[test]
+    fn multiple_armed_read_faults_fire_independently() {
+        let mut m = Memory::new();
+        m.write_u64(0x1000, 0).unwrap();
+        m.arm_read_fault(1, 0); // first read, bit 0
+        m.arm_read_fault(3, 5); // third read, bit 5
+        assert_eq!(m.read_u64(0x1000).unwrap(), 1, "first fault fires");
+        assert_eq!(m.read_u64(0x1000).unwrap(), 0, "between faults: clean");
+        assert_eq!(m.read_u64(0x1000).unwrap(), 1 << 5, "second fault fires");
+        assert!(!m.read_fault_pending());
+        assert_eq!(m.read_u64(0x1000).unwrap(), 0, "all one-shot");
+    }
+
+    #[test]
+    fn coinciding_read_faults_both_flip_the_same_read() {
+        let mut m = Memory::new();
+        m.write_u64(0x1000, 0).unwrap();
+        m.arm_read_fault(1, 0);
+        m.arm_read_fault(1, 1);
+        assert_eq!(m.read_u64(0x1000).unwrap(), 0b11, "both bits flip at once");
     }
 
     #[test]

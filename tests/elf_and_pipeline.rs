@@ -1,9 +1,12 @@
-//! Integration: ELF round trips preserve measurement results, and the
-//! pipeline/cache extensions behave sensibly on real workloads.
+//! Integration: ELF round trips preserve measurement results, the
+//! pipeline/cache extensions behave sensibly on real workloads, and the
+//! pipeline-timed driver is architecturally identical to plain emulation —
+//! with fault injection off *and* on.
 
 use isacmp::{
-    compile, execute, run_pipeline, run_pipeline_full, CacheConfig, CacheModel, CriticalPath,
-    IsaKind, Observer, PathLength, Personality, PipelineConfig, Program, SizeClass, Workload,
+    compile, execute, run_pipeline, run_pipeline_full, try_execute, try_run_pipeline_full,
+    CacheConfig, CacheModel, CriticalPath, FaultInjector, FaultPlan, IsaKind, Observer,
+    PathLength, Personality, PipelineConfig, Program, SizeClass, Workload,
 };
 
 #[test]
@@ -75,6 +78,81 @@ fn pipeline_configs_order_sanely() {
             assert!(tx2.cycles <= ino.cycles, "{}: TX2 {} > in-order {}", w.name(), tx2.cycles, ino.cycles);
             assert!(fs.cycles <= tx2.cycles, "{}: Firestorm {} > TX2 {}", w.name(), fs.cycles, tx2.cycles);
         }
+    }
+}
+
+#[test]
+fn pipeline_and_emulation_agree_architecturally() {
+    // The pipeline models are timing observers over the same emulation
+    // core, so the architectural outcome — retire count, final pc,
+    // register files, guest checksum — must be bit-identical to a plain
+    // emulation run for every seed kernel on both ISAs.
+    let p = Personality::gcc122();
+    for w in Workload::ALL {
+        for isa in [IsaKind::AArch64, IsaKind::RiscV] {
+            let compiled = compile(&w.build(SizeClass::Test), isa, &p);
+            let (st_emu, stats) =
+                try_execute(&compiled, &mut [], None, None).expect("emulation runs clean");
+            let (st_pipe, pstats) = try_run_pipeline_full(
+                w,
+                isa,
+                &p,
+                SizeClass::Test,
+                PipelineConfig::tx2(),
+                true,
+                None,
+                None,
+                None,
+            )
+            .expect("pipeline run is clean");
+            let label = format!("{} / {}", w.name(), isacmp::isa_label(isa));
+            assert_eq!(stats.retired, pstats.retired, "{label}: retire counts");
+            assert_eq!(st_emu.instret, st_pipe.instret, "{label}: instret");
+            assert_eq!(st_emu.pc, st_pipe.pc, "{label}: final pc");
+            assert_eq!(st_emu.x, st_pipe.x, "{label}: integer registers");
+            assert_eq!(st_emu.f, st_pipe.f, "{label}: fp registers");
+            let sum_emu = st_emu.mem.read_f64(compiled.checksum_addr).unwrap();
+            let sum_pipe = st_pipe.mem.read_f64(compiled.checksum_addr).unwrap();
+            assert_eq!(sum_emu.to_bits(), sum_pipe.to_bits(), "{label}: checksum");
+        }
+    }
+}
+
+#[test]
+fn pipeline_and_emulation_fail_identically_under_injection() {
+    // Arm the same deterministic fault on both paths: each must degrade to
+    // the same typed error at the same retirement point — the pipeline
+    // models inherit the injection hook, they don't approximate it.
+    let p = Personality::gcc122();
+    for isa in [IsaKind::AArch64, IsaKind::RiscV] {
+        let fault = FaultPlan::parse("trap@1000").unwrap();
+        let compiled = compile(&Workload::Stream.build(SizeClass::Test), isa, &p);
+        let err_emu = match try_execute(&compiled, &mut [], None, Some(&fault)) {
+            Err(e) => e,
+            Ok(_) => panic!("injected trap must fail emulation"),
+        };
+        let injector: Option<Box<dyn FaultInjector>> = Some(Box::new(fault.clone()));
+        let err_pipe = match try_run_pipeline_full(
+            Workload::Stream,
+            isa,
+            &p,
+            SizeClass::Test,
+            PipelineConfig::tx2(),
+            true,
+            None,
+            None,
+            injector,
+        ) {
+            Err(e) => e,
+            Ok(_) => panic!("injected trap must fail the pipeline run"),
+        };
+        assert_eq!(err_emu.kind(), "sim");
+        assert_eq!(err_emu.kind(), err_pipe.kind(), "same typed failure kind");
+        assert_eq!(
+            err_emu.to_string(),
+            err_pipe.to_string(),
+            "same fault, same pc, same instret on both paths"
+        );
     }
 }
 

@@ -4,8 +4,8 @@
 //! checksum cross-check.
 
 use isacmp::{
-    run_cell_opts, run_matrix_opts, CellOptions, InjectSpec, IsaKind, MatrixOptions, Personality,
-    ResultMatrix, SizeClass, Workload,
+    resume_matrix, run_cell_opts, run_matrix_opts, CellOptions, InjectSpec, IsaKind,
+    MatrixOptions, Personality, ResultMatrix, SizeClass, Workload,
 };
 
 #[test]
@@ -33,6 +33,69 @@ fn injected_fault_degrades_one_cell_and_spares_the_rest() {
     assert_eq!(back.failures.len(), 1);
     assert_eq!(back.failures[0].kind, "sim");
     assert_eq!(back.cells.len(), 7);
+}
+
+#[test]
+fn resume_reruns_only_the_recorded_failures() {
+    // Degrade one cell, round-trip the partial matrix through JSON (the
+    // on-disk `results/matrix.json` shape), then resume without the fault:
+    // only the failed cell re-runs, the seven healthy cells are kept
+    // verbatim, and the healed matrix is complete.
+    let inject = InjectSpec::parse("STREAM/gcc-12.2/RISC-V:trap@1000").unwrap();
+    let opts = MatrixOptions { inject: Some(inject), ..Default::default() };
+    let partial = run_matrix_opts(&[Workload::Stream, Workload::Lbm], SizeClass::Test, &opts);
+    assert_eq!(partial.cells.len(), 7);
+    assert_eq!(partial.failures.len(), 1);
+
+    let prior = ResultMatrix::from_json(&partial.to_json()).expect("matrix round-trips");
+    assert_eq!(prior.failures.len(), 1, "failure record survives serialization");
+
+    let tel = isacmp::telemetry::global();
+    let skipped0 = tel.counter("cells_skipped");
+    let resumed0 = tel.counter("cells_resumed");
+    let healed = resume_matrix(&prior, SizeClass::Test, &MatrixOptions::default());
+    assert_eq!(tel.counter("cells_skipped") - skipped0, 7, "healthy cells kept, not re-run");
+    assert_eq!(tel.counter("cells_resumed") - resumed0, 1, "only the failure re-ran");
+
+    assert!(healed.is_complete(), "resume heals the matrix: {}", healed.failure_summary());
+    assert_eq!(healed.cells.len(), 8);
+    // The kept cells are the prior ones verbatim, and every healed cell
+    // measures identically to a from-scratch never-faulted run. (The
+    // resumed cell is appended last, so compare per cell, not per blob.)
+    for old in &prior.cells {
+        let kept = healed.get(&old.workload, &old.compiler, &old.isa).expect("cell kept");
+        assert_eq!(format!("{kept:?}"), format!("{old:?}"));
+    }
+    let fresh = run_matrix_opts(
+        &[Workload::Stream, Workload::Lbm],
+        SizeClass::Test,
+        &MatrixOptions::default(),
+    );
+    assert_eq!(fresh.cells.len(), healed.cells.len());
+    for cell in &fresh.cells {
+        let healed_cell =
+            healed.get(&cell.workload, &cell.compiler, &cell.isa).expect("healed cell present");
+        assert_eq!(
+            format!("{healed_cell:?}"),
+            format!("{cell:?}"),
+            "healed cell identical to a never-faulted measurement"
+        );
+    }
+}
+
+#[test]
+fn resume_carries_unknown_labels_forward() {
+    // A matrix produced by a build with more workloads than this one must
+    // not lose its un-mappable failures on resume — they stay recorded.
+    let inject = InjectSpec::parse("STREAM/gcc-12.2/RISC-V:trap@1000").unwrap();
+    let opts = MatrixOptions { inject: Some(inject), ..Default::default() };
+    let mut prior = run_matrix_opts(&[Workload::Stream], SizeClass::Test, &opts);
+    prior.failures[0].workload = "NOT-A-WORKLOAD".into();
+
+    let healed = resume_matrix(&prior, SizeClass::Test, &MatrixOptions::default());
+    assert_eq!(healed.failures.len(), 1, "unknown label carried forward, not dropped");
+    assert_eq!(healed.failures[0].workload, "NOT-A-WORKLOAD");
+    assert_eq!(healed.cells.len(), prior.cells.len(), "no cell re-ran for it");
 }
 
 #[test]
