@@ -1,0 +1,113 @@
+//! The full per-cell analysis bundle, driven from any retirement source.
+//!
+//! Everything Table 1, Table 2 and Figure 2 need from one (workload,
+//! compiler, ISA) cell — path length with per-kernel attribution, unit and
+//! latency-scaled critical paths, and the windowed critical path — bundled
+//! so the same measurement code runs off a live emulation pass *or* a
+//! replayed trace ([`simcore::RetireSource`]).
+
+use simcore::{Observer, Region, RetireSource, SimError};
+use uarch::Tx2Latency;
+
+use crate::critical_path::DualCriticalPath;
+use crate::path_length::PathLength;
+use crate::tables::ExperimentCell;
+use crate::windowed::WindowedCp;
+
+/// The paper's per-cell measurement set, as one bundle of streaming
+/// observers.
+pub struct CellAnalyses {
+    /// Dynamic instruction counts, total and per kernel region.
+    pub path_length: PathLength,
+    /// Unit-cost and TX2-scaled critical paths, shared-table single pass.
+    pub critical_path: DualCriticalPath,
+    /// Windowed critical path over the paper's Figure 2 window sizes.
+    pub windowed: WindowedCp,
+}
+
+impl CellAnalyses {
+    /// Fresh bundle for a program with the given kernel regions.
+    pub fn new(regions: &[Region]) -> Self {
+        CellAnalyses {
+            path_length: PathLength::new(regions),
+            critical_path: DualCriticalPath::new(Tx2Latency),
+            windowed: WindowedCp::paper(),
+        }
+    }
+
+    /// The bundle as an observer list, ready for an emulation core run or
+    /// a [`RetireSource::drive`] call.
+    pub fn observers(&mut self) -> Vec<&mut dyn Observer> {
+        vec![&mut self.path_length, &mut self.critical_path, &mut self.windowed]
+    }
+
+    /// Pump an entire retirement source through the bundle, returning the
+    /// number of instructions analyzed.
+    pub fn run(&mut self, source: &mut dyn RetireSource) -> Result<u64, SimError> {
+        let mut obs = self.observers();
+        source.drive(&mut obs)
+    }
+
+    /// Package the measurements as an [`ExperimentCell`] for the given
+    /// cell coordinates.
+    pub fn into_cell(self, workload: &str, compiler: &str, isa: &str) -> ExperimentCell {
+        ExperimentCell {
+            workload: workload.to_string(),
+            compiler: compiler.to_string(),
+            isa: isa.to_string(),
+            path_length: self.path_length.total(),
+            critical_path: self.critical_path.unit().critical_path,
+            scaled_cp: self.critical_path.scaled().critical_path,
+            kernels: self.path_length.by_kernel(),
+            windows: self
+                .windowed
+                .stats()
+                .iter()
+                .map(|s| (s.size, s.mean_cp(), s.mean_ilp()))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::{InstGroup, RegId, RegSet, RetiredInst};
+
+    fn stream(n: u64) -> Vec<RetiredInst> {
+        (0..n)
+            .map(|i| {
+                let mut ri = RetiredInst::new(0x100 + (i % 16) * 4, InstGroup::IntAlu);
+                ri.srcs = RegSet::of(&[RegId::Int((i % 4) as u8 + 1)]);
+                ri.dsts = RegSet::of(&[RegId::Int((i % 4) as u8 + 1)]);
+                ri
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bundle_matches_individual_observers() {
+        let regions =
+            vec![Region { name: "k".into(), start: 0x100, end: 0x120 }];
+        let records = stream(500);
+
+        let mut bundle = CellAnalyses::new(&regions);
+        let mut src: &[RetiredInst] = &records;
+        let n = bundle.run(&mut src).unwrap();
+        assert_eq!(n, 500);
+
+        let mut pl = PathLength::new(&regions);
+        let mut cp = DualCriticalPath::new(Tx2Latency);
+        for ri in &records {
+            pl.on_retire(ri);
+            cp.on_retire(ri);
+        }
+        let cell = bundle.into_cell("STREAM", "gcc-12.2", "RISC-V");
+        assert_eq!(cell.path_length, pl.total());
+        assert_eq!(cell.critical_path, cp.unit().critical_path);
+        assert_eq!(cell.scaled_cp, cp.scaled().critical_path);
+        assert_eq!(cell.kernels, pl.by_kernel());
+        assert_eq!(cell.workload, "STREAM");
+        assert!(!cell.windows.is_empty());
+    }
+}

@@ -16,7 +16,7 @@
 //! 8-byte aligned; sub-word accesses conservatively merge over the words
 //! they touch).
 
-use simcore::{InstGroup, Observer, RetiredInst, WordMap, NUM_REG_SLOTS};
+use simcore::{InstGroup, Observer, RetireSource, RetiredInst, SimError, WordMap, NUM_REG_SLOTS};
 use uarch::LatencyModel;
 
 /// Result of a critical-path analysis.
@@ -91,6 +91,13 @@ impl CriticalPath {
                 g => m.latency(g),
             },
         }
+    }
+
+    /// Pump an entire retirement source (live run, replayed trace, or
+    /// record slice) through this analysis.
+    pub fn consume(&mut self, source: &mut dyn RetireSource) -> Result<u64, SimError> {
+        let mut obs: [&mut dyn Observer; 1] = [self];
+        source.drive(&mut obs)
     }
 
     /// Current result snapshot.
@@ -175,6 +182,13 @@ impl DualCriticalPath {
     /// Latency-scaled result (the paper's Table 2).
     pub fn scaled(&self) -> CpResult {
         CpResult { critical_path: self.longest_scaled, path_length: self.retired }
+    }
+
+    /// Pump an entire retirement source (live run, replayed trace, or
+    /// record slice) through this analysis.
+    pub fn consume(&mut self, source: &mut dyn RetireSource) -> Result<u64, SimError> {
+        let mut obs: [&mut dyn Observer; 1] = [self];
+        source.drive(&mut obs)
     }
 }
 

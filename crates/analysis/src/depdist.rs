@@ -7,7 +7,7 @@
 //! the distance (in retired instructions) back to the most recent producer
 //! of each of its sources, bucketed into a histogram.
 
-use simcore::{Observer, RetiredInst, WordMap, NUM_REG_SLOTS};
+use simcore::{Observer, RetireSource, RetiredInst, SimError, WordMap, NUM_REG_SLOTS};
 
 /// Histogram bucket upper bounds (inclusive), in retired instructions.
 pub const DIST_BUCKETS: [u64; 8] = [1, 2, 4, 8, 16, 64, 256, u64::MAX];
@@ -53,6 +53,13 @@ impl DepDistance {
                 break;
             }
         }
+    }
+
+    /// Pump an entire retirement source (live run, replayed trace, or
+    /// record slice) through this analysis.
+    pub fn consume(&mut self, source: &mut dyn RetireSource) -> Result<u64, SimError> {
+        let mut obs: [&mut dyn Observer; 1] = [self];
+        source.drive(&mut obs)
     }
 
     /// Mean producer-consumer distance.

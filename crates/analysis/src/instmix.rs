@@ -6,7 +6,7 @@
 //! chain ("they were more computationally dense"). These observers make
 //! both quantitative.
 
-use simcore::{InstGroup, Observer, RetiredInst, WordMap, NUM_REG_SLOTS};
+use simcore::{InstGroup, Observer, RetireSource, RetiredInst, SimError, WordMap, NUM_REG_SLOTS};
 
 /// Histogram of retired instructions per [`InstGroup`].
 #[derive(Debug, Clone, Default)]
@@ -25,6 +25,13 @@ impl InstMix {
     /// Fresh histogram.
     pub fn new() -> Self {
         InstMix::default()
+    }
+
+    /// Pump an entire retirement source (live run, replayed trace, or
+    /// record slice) through this histogram.
+    pub fn consume(&mut self, source: &mut dyn RetireSource) -> Result<u64, SimError> {
+        let mut obs: [&mut dyn Observer; 1] = [self];
+        source.drive(&mut obs)
     }
 
     /// Total instructions retired.

@@ -14,7 +14,10 @@
 //!
 //! All analyses implement [`simcore::Observer`] and stream: memory use is
 //! bounded by the touched data set (critical path) or the largest window
-//! (windowed), never by trace length.
+//! (windowed), never by trace length. Each analysis (and the per-cell
+//! [`CellAnalyses`] bundle) can also be pumped from any
+//! [`simcore::RetireSource`] via its `consume` method — a live emulation
+//! run and a replayed on-disk trace produce identical results.
 //!
 //! ```
 //! use analysis::CriticalPath;
@@ -33,6 +36,7 @@
 //! assert_eq!(r.ilp(), 1.0);
 //! ```
 
+pub mod cell;
 pub mod critical_path;
 pub mod depdist;
 pub mod instmix;
@@ -40,6 +44,7 @@ pub mod path_length;
 pub mod tables;
 pub mod windowed;
 
+pub use cell::CellAnalyses;
 pub use critical_path::{CpResult, CriticalPath, DualCriticalPath};
 pub use depdist::{DepDistance, DIST_BUCKETS};
 pub use instmix::{CpComposition, InstMix};

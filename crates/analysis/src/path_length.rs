@@ -1,7 +1,7 @@
 //! Path-length measurement: total and per-kernel dynamic instruction
 //! counts (the paper's §3).
 
-use simcore::{Observer, Region, RetiredInst};
+use simcore::{Observer, Region, RetireSource, RetiredInst, SimError};
 
 /// Streaming instruction counter with per-region attribution.
 ///
@@ -26,6 +26,13 @@ impl PathLength {
             total: 0,
             last_hit: 0,
         }
+    }
+
+    /// Pump an entire retirement source (live run, replayed trace, or
+    /// record slice) through this counter.
+    pub fn consume(&mut self, source: &mut dyn RetireSource) -> Result<u64, SimError> {
+        let mut obs: [&mut dyn Observer; 1] = [self];
+        source.drive(&mut obs)
     }
 
     /// Total instructions retired (the paper's *path length*).

@@ -7,7 +7,7 @@
 use telemetry::Json;
 
 /// All measurements for one (workload, compiler, ISA) cell.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentCell {
     /// Workload name ("STREAM", ...).
     pub workload: String,

@@ -14,7 +14,7 @@
 
 use std::collections::VecDeque;
 
-use simcore::{Observer, RetiredInst, WordMap, NUM_REG_SLOTS};
+use simcore::{Observer, RetireSource, RetiredInst, SimError, WordMap, NUM_REG_SLOTS};
 
 /// The window sizes used in the paper's Figure 2.
 pub const PAPER_WINDOW_SIZES: [usize; 7] = [4, 16, 64, 200, 500, 1000, 2000];
@@ -142,6 +142,13 @@ impl WindowedCp {
             longest = longest.max(depth);
         }
         longest
+    }
+
+    /// Pump an entire retirement source (live run, replayed trace, or
+    /// record slice) through this analysis.
+    pub fn consume(&mut self, source: &mut dyn RetireSource) -> Result<u64, SimError> {
+        let mut obs: [&mut dyn Observer; 1] = [self];
+        source.drive(&mut obs)
     }
 
     /// Per-size statistics, in the order sizes were supplied.

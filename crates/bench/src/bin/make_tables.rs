@@ -29,6 +29,15 @@
 //! - `--resume <matrix.json>`: reload a prior (partial) matrix and re-run
 //!   only its recorded failures; healthy cells are kept as-is. Mutually
 //!   exclusive with `--campaign`.
+//!
+//! Trace capture/replay (matrix experiments):
+//! - `--trace-dir <dir>`: capture each cell's retired-instruction stream to
+//!   `<dir>/{workload}-{compiler}-{isa}-{size}.trace` on the first run and
+//!   replay the cached trace (no compile, no emulation) on later runs.
+//!   Stale or corrupt traces fall back to a live run that recaptures.
+//!   Ignored while `--inject`/`--campaign` are armed. The `--metrics`
+//!   report carries `trace_replays`/`trace_captures` counters and a
+//!   `trace_replay_speedup` gauge.
 
 use std::fs;
 
@@ -101,7 +110,15 @@ fn parse_matrix_opts(args: &[String]) -> MatrixOptions {
             std::process::exit(2);
         })
     });
-    MatrixOptions { deadline, retries, inject, campaign }
+    let trace_dir = parse_flag_value(args, "--trace-dir").map(|d| {
+        let dir = std::path::PathBuf::from(d);
+        fs::create_dir_all(&dir).unwrap_or_else(|e| {
+            eprintln!("cannot create trace dir {}: {e}", dir.display());
+            std::process::exit(2);
+        });
+        dir
+    });
+    MatrixOptions { deadline, retries, inject, campaign, trace_dir }
 }
 
 /// `fs::write` with an actionable diagnostic instead of a panic.
@@ -512,9 +529,20 @@ fn main() {
     drop(main_span);
     if let Some(path) = metrics_path {
         let retired = tel.counter("instructions_retired");
-        let report = isacmp::RunReport::new(&format!("make_tables {}", args.join(" ")))
+        let mut report = isacmp::RunReport::new(&format!("make_tables {}", args.join(" ")))
             .with_run(run_start.elapsed(), retired, None)
             .finish_from(tel);
+        let (replays, captures) = (tel.counter("trace_replays"), tel.counter("trace_captures"));
+        if replays + captures > 0 {
+            let speedup = tel
+                .metrics_snapshot()
+                .gauge("trace_replay_speedup")
+                .map(|s| format!(", replay speedup x{s:.1}"))
+                .unwrap_or_default();
+            report = report.note(&format!(
+                "trace cache: {replays} replay(s), {captures} capture(s){speedup}"
+            ));
+        }
         report
             .write_file(std::path::Path::new(&path))
             .unwrap_or_else(|e| {

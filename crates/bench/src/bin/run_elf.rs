@@ -10,8 +10,14 @@
 //!
 //! Options:
 //! - `--metrics <path>`: write a structured [`telemetry::RunReport`]
-//!   (stage spans, host MIPS, instruction-group mix, hot regions, an
-//!   observer-overhead estimate from a second bare run) as JSON.
+//!   (stage spans, host MIPS, instruction-group mix, hot regions, and
+//!   per-observer overhead attribution from one calibration run per
+//!   observer) as JSON.
+//! - `--trace-out <path>`: capture the retired-instruction stream to a
+//!   compact binary `.trace` file (inspect with the `trace_tool` bin,
+//!   replay through `make_tables --trace-dir`).
+//! - `--spans-out <path>`: write the run's span tree as flamegraph-ready
+//!   collapsed stacks (`stack;substack <self-us>` lines).
 //! - `--progress[=N]`: heartbeat line on stderr every N retirements
 //!   (default 50M); also honoured via `ISACMP_PROGRESS=N`.
 //! - `--deadline-secs <s>`: wall-clock watchdog; a trip exits 124.
@@ -26,7 +32,8 @@
 use isacmp::{
     AArch64Executor, Campaign, CampaignSpec, CpuState, DualCriticalPath, EmulationCore,
     FaultInjector, FaultPlan, IsaKind, Observer, PathLength, Program, ProfilingObserver,
-    RiscVExecutor, RunReport, SimError, Tx2Latency, WindowedCp, DEFAULT_CAMPAIGN_WINDOW,
+    RiscVExecutor, RunReport, SimError, TraceMeta, TraceWriter, Tx2Latency, WindowedCp,
+    DEFAULT_CAMPAIGN_WINDOW,
 };
 
 /// Exit code for a watchdog trip, matching the `timeout(1)` convention.
@@ -35,6 +42,8 @@ const EXIT_TIMEOUT: i32 = 124;
 struct Args {
     elf: String,
     metrics: Option<String>,
+    trace_out: Option<String>,
+    spans_out: Option<String>,
     progress: Option<u64>,
     deadline: Option<std::time::Duration>,
     inject: Option<FaultPlan>,
@@ -44,6 +53,8 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut elf = None;
     let mut metrics = None;
+    let mut trace_out = None;
+    let mut spans_out = None;
     let mut progress = None;
     let mut deadline = None;
     let mut inject = None;
@@ -52,6 +63,10 @@ fn parse_args() -> Result<Args, String> {
     while let Some(a) = it.next() {
         if a == "--metrics" {
             metrics = Some(it.next().ok_or("--metrics needs a path")?);
+        } else if a == "--trace-out" {
+            trace_out = Some(it.next().ok_or("--trace-out needs a path")?);
+        } else if a == "--spans-out" {
+            spans_out = Some(it.next().ok_or("--spans-out needs a path")?);
         } else if a == "--progress" {
             progress = Some(1);
         } else if let Some(n) = a.strip_prefix("--progress=") {
@@ -81,10 +96,13 @@ fn parse_args() -> Result<Args, String> {
     }
     Ok(Args {
         elf: elf.ok_or(
-            "usage: run_elf <binary.elf> [--metrics out.json] [--progress[=N]] \
-             [--deadline-secs s] [--inject fault] [--campaign seed:n]",
+            "usage: run_elf <binary.elf> [--metrics out.json] [--trace-out out.trace] \
+             [--spans-out out.folded] [--progress[=N]] [--deadline-secs s] \
+             [--inject fault] [--campaign seed:n]",
         )?,
         metrics,
+        trace_out,
+        spans_out,
         progress,
         deadline,
         inject,
@@ -154,6 +172,25 @@ fn main() {
     let mut wcp = WindowedCp::paper();
     let mut profile = ProfilingObserver::new(&program.regions);
 
+    // Ad-hoc ELF runs are not matrix cells, so the provenance header names
+    // the file rather than a (workload, compiler, size) triple.
+    let trace_meta = TraceMeta {
+        workload: std::path::Path::new(path)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "elf".into()),
+        compiler: "elf".into(),
+        isa: isacmp::isa_label(program.isa).to_string(),
+        size: "elf".into(),
+        regions: program.regions.clone(),
+    };
+    let mut tracer = args.trace_out.as_ref().map(|p| {
+        TraceWriter::create(std::path::Path::new(p), &trace_meta).unwrap_or_else(|e| {
+            eprintln!("cannot create trace file {p}: {e}");
+            std::process::exit(1);
+        })
+    });
+
     if let Some(plan) = &args.inject {
         eprintln!("fault injection armed: {}", plan.describe());
     }
@@ -178,6 +215,9 @@ fn main() {
     let (st, stats) = {
         let _span = tel.enter("emulate");
         let mut obs: Vec<&mut dyn Observer> = vec![&mut pl, &mut cp, &mut wcp, &mut profile];
+        if let Some(t) = tracer.as_mut() {
+            obs.push(t);
+        }
         run(&program, &mut obs, args.deadline, injector).unwrap_or_else(|f| {
             match f {
                 RunFailure::Load(e) => eprintln!("cannot load {path}: {e}"),
@@ -217,36 +257,70 @@ fn main() {
         println!("  guest output : {:?}", st.output_string());
     }
 
+    if let (Some(t), Some(p)) = (tracer.take(), &args.trace_out) {
+        match t.finish(st.state_hash(), stats.wall) {
+            Ok(s) => println!(
+                "  trace        : {p} ({} records, {} blocks, {} bytes)",
+                s.records, s.blocks, s.bytes
+            ),
+            Err(e) => {
+                eprintln!("cannot finalize trace file {p}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
     let mut report = RunReport::new(&format!("run_elf {path}"))
         .with_run(stats.wall, stats.retired, Some(stats.exit_code as u64))
         .with_profile(&profile);
 
-    if let Some(metrics_path) = &args.metrics {
-        // Calibration: time a bare observer-free run to estimate how much
-        // the analysis observers cost on top of raw emulation.
-        // The bare run is deliberately watchdog- and fault-free: it only
-        // measures raw emulation speed.
-        let bare = {
-            let _span = tel.enter("calibrate");
-            let mut none: Vec<&mut dyn Observer> = vec![];
-            run(&program, &mut none, None, None).ok().map(|(_, s)| s.wall)
+    if args.metrics.is_some() {
+        // Calibration: time a bare observer-free run to establish raw
+        // emulation speed, then one run per observer alone to attribute
+        // the overhead observer by observer. All calibration runs are
+        // deliberately watchdog- and fault-free.
+        let _span = tel.enter("calibrate");
+        let bare_run = |obs: &mut Vec<&mut dyn Observer>| {
+            run(&program, obs, None, None).ok().map(|(_, s)| s.wall)
         };
-        if let Some(bare_wall) = bare {
-            if !bare_wall.is_zero() {
-                let pct = (stats.wall.as_secs_f64() / bare_wall.as_secs_f64() - 1.0) * 100.0;
-                report.observer_overhead_pct = Some(pct.max(0.0));
+        let bare = bare_run(&mut vec![]);
+        if let Some(bare_wall) = bare.filter(|w| !w.is_zero()) {
+            let pct_over = |wall: std::time::Duration| {
+                ((wall.as_secs_f64() / bare_wall.as_secs_f64() - 1.0) * 100.0).max(0.0)
+            };
+            report.observer_overhead_pct = Some(pct_over(stats.wall));
+            let solo: [(&str, &mut dyn Observer); 5] = [
+                ("path_length", &mut PathLength::new(&program.regions)),
+                ("critical_path", &mut DualCriticalPath::new(Tx2Latency)),
+                ("windowed_cp", &mut WindowedCp::paper()),
+                ("profile", &mut ProfilingObserver::new(&program.regions)),
+                // The trace observer encodes into a sink: observer-side
+                // cost only, no filesystem noise.
+                ("trace_writer", &mut TraceWriter::sink(&trace_meta)),
+            ];
+            for (name, obs) in solo {
+                if let Some(wall) = bare_run(&mut vec![obs]) {
+                    report.observer_overheads.push((name.to_string(), pct_over(wall)));
+                }
             }
         }
-        let report = report.finish_from(tel);
+    }
+    let report = report.finish_from(tel);
+    if let Some(spans_path) = &args.spans_out {
+        std::fs::write(spans_path, report.to_collapsed()).unwrap_or_else(|e| {
+            eprintln!("cannot write {spans_path}: {e}");
+            std::process::exit(1);
+        });
+        println!("  spans        : collapsed stacks written to {spans_path}");
+    }
+    if let Some(metrics_path) = &args.metrics {
         report.write_file(std::path::Path::new(metrics_path)).unwrap_or_else(|e| {
             eprintln!("cannot write {metrics_path}: {e}");
             std::process::exit(1);
         });
         println!("  metrics      : written to {metrics_path}");
-        println!("  run          : {}", report.summary());
-    } else {
-        println!("  run          : {}", report.summary());
     }
+    println!("  run          : {}", report.summary());
 
     std::process::exit(stats.exit_code as i32);
 }

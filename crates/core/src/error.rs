@@ -153,6 +153,11 @@ pub struct CellOptions {
     /// Seeded multi-fault schedule to inject into the run (may coexist
     /// with `fault`; the schedules merge).
     pub campaign: Option<Campaign>,
+    /// Trace cache directory: replay a matching capture instead of
+    /// emulating, and capture one on a live run. Ignored (no capture, no
+    /// replay) while a fault or campaign is armed — an injected-fault run
+    /// is not a reusable measurement.
+    pub trace_dir: Option<std::path::PathBuf>,
 }
 
 impl CellOptions {
@@ -249,6 +254,9 @@ pub struct MatrixOptions {
     /// gets its own freshly-armed copy of the same schedule, so the sweep
     /// is deterministic across cells and runs).
     pub campaign: Option<Campaign>,
+    /// Trace cache directory shared by all cells (see
+    /// [`CellOptions::trace_dir`]).
+    pub trace_dir: Option<std::path::PathBuf>,
 }
 
 impl MatrixOptions {
@@ -263,6 +271,7 @@ impl MatrixOptions {
             retries: self.retries,
             fault,
             campaign: self.campaign.clone(),
+            trace_dir: self.trace_dir.clone(),
         }
     }
 }

@@ -36,15 +36,18 @@
 
 mod campaign;
 mod error;
+mod tracecache;
 
 pub use campaign::CampaignManifest;
 pub use error::{
     CellError, CellOptions, CellSelector, InjectSpec, MatrixOptions, MAX_CELL_RETRIES,
 };
+pub use trace::{TraceError, TraceMeta, TraceReader, TraceSummary, TraceWriter};
+pub use tracecache::{cell_meta, replay_cell, trace_path};
 
 pub use analysis::{
-    runtime_ms, CellFailure, CpComposition, CpResult, CriticalPath, DepDistance, DualCriticalPath,
-    ExperimentCell, InstMix, PathLength,
+    runtime_ms, CellAnalyses, CellFailure, CpComposition, CpResult, CriticalPath, DepDistance,
+    DualCriticalPath, ExperimentCell, InstMix, PathLength,
     ResultMatrix, WindowStats, WindowedCp, CLOCK_GHZ, PAPER_WINDOW_SIZES,
 };
 pub use isa_aarch64::AArch64Executor;
@@ -52,7 +55,8 @@ pub use isa_riscv::RiscVExecutor;
 pub use kernelgen::{compile, interpret, Compiled, KernelProgram, Personality};
 pub use simcore::{
     Campaign, CampaignSpec, CpuState, EmulationCore, FaultInjector, FaultKind, FaultPlan,
-    InjectAction, InstGroup, IsaExecutor, IsaKind, Observer, Program, RetiredInst, RunStats,
+    InjectAction, InstGroup, IsaExecutor, IsaKind, Observer, Program, RegSet, RetiredInst,
+    RunStats,
     SimError, DEFAULT_CAMPAIGN_WINDOW,
 };
 pub use uarch::{
@@ -153,6 +157,12 @@ pub fn execute(
 }
 
 /// One measurement attempt for a cell, with every failure mode typed.
+///
+/// When `opts.trace_dir` names a cache directory (and no fault is armed),
+/// a matching capture is replayed instead of emulating, and a live run
+/// captures its retirement stream for next time. The analyses themselves
+/// are source-agnostic ([`CellAnalyses`]), so live and replayed
+/// measurements are bit-identical.
 fn run_cell_attempt(
     workload: Workload,
     isa: IsaKind,
@@ -161,6 +171,23 @@ fn run_cell_attempt(
     opts: &CellOptions,
 ) -> Result<ExperimentCell, CellError> {
     let tel = telemetry::global();
+    // Tracing (capture and replay) only applies to clean measurement runs:
+    // an injected-fault run is not reusable, and a replay cannot reproduce
+    // the fault.
+    let tracing = opts.trace_dir.as_ref().filter(|_| opts.fault.is_none() && opts.campaign.is_none());
+    if let Some(dir) = tracing {
+        let path = tracecache::trace_path(dir, workload, personality, isa, size);
+        if path.exists() {
+            match tracecache::replay_cell(&path, workload, personality, isa, size) {
+                Ok(Some(cell)) => return Ok(cell),
+                // Stale provenance: fall through and recapture.
+                Ok(None) => tel.counter_add("trace_stale", 1),
+                // Damaged trace: count it, fall back to a live run.
+                Err(_) => tel.counter_add("trace_replay_errors", 1),
+            }
+        }
+    }
+
     // The builder and compiler report bugs by panicking; contain them to
     // this cell.
     let compiled_or = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -171,11 +198,32 @@ fn run_cell_attempt(
     let (prog, compiled) =
         compiled_or.map_err(|p| CellError::Compile { msg: error::panic_message(p) })?;
 
-    let mut pl = PathLength::new(&compiled.program.regions);
-    let mut cp = DualCriticalPath::new(Tx2Latency);
-    let mut wcp = WindowedCp::paper();
-    {
-        let mut obs: Vec<&mut dyn Observer> = vec![&mut pl, &mut cp, &mut wcp];
+    let mut analyses = CellAnalyses::new(&compiled.program.regions);
+    // Capture goes to a `.tmp` sibling first; only a verified run renames
+    // it into place, so the cache never holds a half-written file.
+    let mut capture = match tracing {
+        Some(dir) => {
+            let meta =
+                cell_meta(workload, personality, isa, size, &compiled.program.regions);
+            let final_path = tracecache::trace_path(dir, workload, personality, isa, size);
+            let tmp_path = final_path.with_extension("trace.tmp");
+            let _ = std::fs::create_dir_all(dir);
+            match TraceWriter::create(&tmp_path, &meta) {
+                Ok(w) => Some((w, tmp_path, final_path)),
+                Err(_) => {
+                    // Unwritable cache dir: measure live, skip capture.
+                    tel.counter_add("trace_capture_errors", 1);
+                    None
+                }
+            }
+        }
+        None => None,
+    };
+    let run_result = {
+        let mut obs = analyses.observers();
+        if let Some((w, _, _)) = capture.as_mut() {
+            obs.push(w);
+        }
         // Arm the fault schedule fresh for this attempt; the shared fired
         // counter lets us account for injections even when the run dies.
         let armed = opts.armed_campaign();
@@ -184,46 +232,61 @@ fn run_cell_attempt(
         }
         let injector: Option<Box<dyn FaultInjector>> =
             armed.as_ref().map(|c| Box::new(c.clone()) as Box<dyn FaultInjector>);
+        let emu_start = std::time::Instant::now();
         let run = try_execute_with(&compiled, &mut obs, opts.deadline, injector);
         if let Some(c) = &armed {
             tel.counter_add("faults_fired", c.fired_count());
         }
-        let (st, _stats) = run?;
-        // Cross-check the guest checksum against the reference interpreter:
-        // every measured cell is also a correctness test, and the gate that
-        // turns injected silent corruption into a loud, typed failure.
-        let _verify_span = tel.enter("verify");
-        let expected = interpret(&prog, personality).checksum;
-        let got = st.mem.read_f64(compiled.checksum_addr).map_err(|err| CellError::Sim {
-            err,
-            instret: st.instret,
-        })?;
-        if got.to_bits() != expected.to_bits() {
-            return Err(CellError::ChecksumMismatch {
-                expected_bits: expected.to_bits(),
-                got_bits: got.to_bits(),
-            });
+        run.map(|(st, stats)| (st, stats, emu_start.elapsed())).and_then(|(st, stats, wall)| {
+            // Cross-check the guest checksum against the reference
+            // interpreter: every measured cell is also a correctness test,
+            // and the gate that turns injected silent corruption into a
+            // loud, typed failure.
+            let _verify_span = tel.enter("verify");
+            let expected = interpret(&prog, personality).checksum;
+            let got = st.mem.read_f64(compiled.checksum_addr).map_err(|err| CellError::Sim {
+                err,
+                instret: st.instret,
+            })?;
+            if got.to_bits() != expected.to_bits() {
+                return Err(CellError::ChecksumMismatch {
+                    expected_bits: expected.to_bits(),
+                    got_bits: got.to_bits(),
+                });
+            }
+            // Faults that fired yet left the measurement verifiably correct.
+            if let Some(c) = &armed {
+                tel.counter_add("faults_survived", c.fired_count());
+            }
+            Ok((st, stats, wall))
+        })
+    };
+    match run_result {
+        Ok((st, _stats, wall)) => {
+            // The run is verified: commit the capture into the cache.
+            if let Some((w, tmp_path, final_path)) = capture.take() {
+                let committed = w
+                    .finish(st.state_hash(), wall)
+                    .and_then(|_| std::fs::rename(&tmp_path, &final_path));
+                match committed {
+                    Ok(()) => tel.counter_add("trace_captures", 1),
+                    Err(_) => {
+                        tel.counter_add("trace_capture_errors", 1);
+                        let _ = std::fs::remove_file(&tmp_path);
+                    }
+                }
+            }
         }
-        // Faults that fired yet left the measurement verifiably correct.
-        if let Some(c) = &armed {
-            tel.counter_add("faults_survived", c.fired_count());
+        Err(e) => {
+            if let Some((w, tmp_path, _)) = capture.take() {
+                drop(w);
+                let _ = std::fs::remove_file(&tmp_path);
+            }
+            return Err(e);
         }
     }
 
-    Ok(ExperimentCell {
-        workload: workload.name().to_string(),
-        compiler: personality.label().to_string(),
-        isa: isa_label(isa).to_string(),
-        path_length: pl.total(),
-        critical_path: cp.unit().critical_path,
-        scaled_cp: cp.scaled().critical_path,
-        kernels: pl.by_kernel(),
-        windows: wcp
-            .stats()
-            .iter()
-            .map(|s| (s.size, s.mean_cp(), s.mean_ilp()))
-            .collect(),
-    })
+    Ok(analyses.into_cell(workload.name(), personality.label(), isa_label(isa)))
 }
 
 /// [`run_cell`] with explicit fault-tolerance options: a wall-clock

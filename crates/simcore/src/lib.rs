@@ -49,6 +49,7 @@ pub mod observer;
 pub mod program;
 pub mod regid;
 pub mod retire;
+pub mod source;
 pub mod state;
 
 pub use crate::core::{EmulationCore, IsaExecutor, RunStats};
@@ -63,4 +64,5 @@ pub use crate::observer::{CountingObserver, NullObserver, Observer};
 pub use crate::program::{IsaKind, Program, Region, Section};
 pub use crate::regid::{RegId, RegSet, NUM_REG_SLOTS};
 pub use crate::retire::{InstGroup, MemAccess, MemList, RetiredInst};
+pub use crate::source::RetireSource;
 pub use crate::state::CpuState;

@@ -71,6 +71,39 @@ impl InstGroup {
         InstGroup::System,
     ];
 
+    /// Stable single-byte wire code (the group's position in
+    /// [`InstGroup::ALL`]) used by the binary trace format.
+    #[inline]
+    pub fn code(self) -> u8 {
+        match self {
+            InstGroup::IntAlu => 0,
+            InstGroup::IntMul => 1,
+            InstGroup::IntDiv => 2,
+            InstGroup::Shift => 3,
+            InstGroup::Logical => 4,
+            InstGroup::Branch => 5,
+            InstGroup::Load => 6,
+            InstGroup::Store => 7,
+            InstGroup::FpAdd => 8,
+            InstGroup::FpMul => 9,
+            InstGroup::FpFma => 10,
+            InstGroup::FpDiv => 11,
+            InstGroup::FpSqrt => 12,
+            InstGroup::FpCmp => 13,
+            InstGroup::FpCvt => 14,
+            InstGroup::FpMove => 15,
+            InstGroup::Atomic => 16,
+            InstGroup::System => 17,
+        }
+    }
+
+    /// Inverse of [`InstGroup::code`]; `None` for bytes outside the table
+    /// (a corrupt or future-versioned trace).
+    #[inline]
+    pub fn from_code(code: u8) -> Option<InstGroup> {
+        InstGroup::ALL.get(code as usize).copied()
+    }
+
     /// Whether the group executes in a floating-point pipe.
     pub fn is_fp(self) -> bool {
         matches!(
@@ -219,6 +252,16 @@ mod tests {
             assert!(set.insert(g));
         }
         assert_eq!(set.len(), InstGroup::ALL.len());
+    }
+
+    #[test]
+    fn group_codes_round_trip() {
+        for (i, g) in InstGroup::ALL.iter().enumerate() {
+            assert_eq!(g.code() as usize, i, "code must match ALL position for {g:?}");
+            assert_eq!(InstGroup::from_code(g.code()), Some(*g));
+        }
+        assert_eq!(InstGroup::from_code(InstGroup::ALL.len() as u8), None);
+        assert_eq!(InstGroup::from_code(255), None);
     }
 
     #[test]

@@ -113,6 +113,45 @@ impl CpuState {
     pub fn output_string(&self) -> String {
         String::from_utf8_lossy(&self.output).into_owned()
     }
+
+    /// A 64-bit fingerprint of the architectural state: PC, both register
+    /// files, flags, retirement count, exit status, and captured output.
+    ///
+    /// Two runs of the same binary that end in the same architectural state
+    /// hash equal; any divergence (different register contents, different
+    /// path length, different guest output) changes the hash with
+    /// overwhelming probability. Trace files record this as provenance so a
+    /// replayed trace can be tied back to the exact run that produced it.
+    /// Memory contents are deliberately excluded — hashing a multi-megabyte
+    /// guest heap per run would dwarf the cost of the fields that actually
+    /// distinguish runs, and every workload already folds its memory results
+    /// into a register-visible checksum.
+    pub fn state_hash(&self) -> u64 {
+        // FNV-1a over the field bytes, then a splitmix64 finalizer for
+        // avalanche on the low bits.
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1_0000_01B3);
+            }
+        };
+        eat(&self.pc.to_le_bytes());
+        for r in &self.x {
+            eat(&r.to_le_bytes());
+        }
+        for r in &self.f {
+            eat(&r.to_le_bytes());
+        }
+        eat(&[self.nzcv]);
+        eat(&self.instret.to_le_bytes());
+        eat(&self.exited.unwrap_or(-1).to_le_bytes());
+        eat(&self.output);
+        let mut z = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
 }
 
 impl Default for CpuState {
@@ -157,6 +196,18 @@ mod tests {
             s.syscall(0x10, 9999, [0, 0, 0]),
             Err(SimError::UnimplementedSyscall { pc: 0x10, num: 9999 })
         ));
+    }
+
+    #[test]
+    fn state_hash_distinguishes_states() {
+        let a = CpuState::new();
+        let mut b = CpuState::new();
+        assert_eq!(a.state_hash(), b.state_hash(), "identical states hash equal");
+        b.x[5] = 1;
+        assert_ne!(a.state_hash(), b.state_hash(), "register change alters the hash");
+        let mut c = CpuState::new();
+        c.instret = 10;
+        assert_ne!(a.state_hash(), c.state_hash(), "instret change alters the hash");
     }
 
     #[test]

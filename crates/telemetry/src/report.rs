@@ -26,6 +26,9 @@ pub struct RunReport {
     /// Estimated observer overhead as a percentage of bare emulation time
     /// (populated only when a calibration run was done).
     pub observer_overhead_pct: Option<f64>,
+    /// Per-observer overhead attribution: `(observer name, pct of bare
+    /// emulation time)`, from one calibration run per observer.
+    pub observer_overheads: Vec<(String, f64)>,
     /// Span tree from the global [`Timeline`](crate::Timeline).
     pub spans: Json,
     /// Snapshot of the global [`MetricsRegistry`](crate::MetricsRegistry).
@@ -98,6 +101,22 @@ impl RunReport {
         if let Some(pct) = self.observer_overhead_pct {
             members.push(("observer_overhead_pct", Json::Num(pct)));
         }
+        if !self.observer_overheads.is_empty() {
+            members.push((
+                "observer_overheads",
+                Json::Arr(
+                    self.observer_overheads
+                        .iter()
+                        .map(|(name, pct)| {
+                            Json::obj(vec![
+                                ("name", Json::Str(name.clone())),
+                                ("pct", Json::Num(*pct)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
         members.push(("spans", self.spans.clone()));
         members.push(("metrics", self.metrics.clone()));
         if let Some(p) = &self.profile {
@@ -119,6 +138,20 @@ impl RunReport {
             exit_code: j.get("exit_code").and_then(Json::as_u64),
             host_mips: j.get("host_mips")?.as_f64()?,
             observer_overhead_pct: j.get("observer_overhead_pct").and_then(Json::as_f64),
+            observer_overheads: j
+                .get("observer_overheads")
+                .and_then(Json::as_arr)
+                .map(|a| {
+                    a.iter()
+                        .filter_map(|o| {
+                            Some((
+                                o.get("name")?.as_str()?.to_string(),
+                                o.get("pct")?.as_f64()?,
+                            ))
+                        })
+                        .collect()
+                })
+                .unwrap_or_default(),
             spans: j.get("spans").cloned().unwrap_or(Json::Arr(Vec::new())),
             metrics: j.get("metrics").cloned().unwrap_or(Json::obj(vec![])),
             profile: j.get("profile").cloned(),
@@ -144,7 +177,33 @@ impl RunReport {
         if let Some(pct) = self.observer_overhead_pct {
             s.push_str(&format!(" | observer overhead ~{pct:.0}%"));
         }
+        for (name, pct) in &self.observer_overheads {
+            s.push_str(&format!(" | {name} ~{pct:.0}%"));
+        }
         s
+    }
+
+    /// Flamegraph-style collapsed stacks from the report's span tree (see
+    /// [`crate::Timeline::to_collapsed`]). Works on freshly-built reports
+    /// and on reports loaded back from JSON, since it reads the serialized
+    /// `spans` array.
+    pub fn to_collapsed(&self) -> String {
+        let tuples: Vec<(String, Option<usize>, Option<u64>)> = self
+            .spans
+            .as_arr()
+            .map(|a| {
+                a.iter()
+                    .filter_map(|s| {
+                        Some((
+                            s.get("name")?.as_str()?.to_string(),
+                            s.get("parent").and_then(Json::as_u64).map(|p| p as usize),
+                            s.get("dur_us").and_then(Json::as_u64),
+                        ))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        crate::span::collapse_spans(&tuples)
     }
 
     /// Write the pretty-printed report to `path`.
@@ -188,6 +247,26 @@ mod tests {
         assert!(s.contains("2.0 MIPS"), "{s}");
         assert!(s.contains("exit 3"), "{s}");
         assert!(s.contains("12%"), "{s}");
+    }
+
+    #[test]
+    fn observer_overheads_round_trip_and_collapse() {
+        let tl = crate::Timeline::new();
+        {
+            let _a = tl.enter("emulate");
+            let _b = tl.enter("verify");
+        }
+        let mut report = RunReport::new("run_elf x.elf");
+        report.spans = tl.to_json();
+        report.observer_overheads =
+            vec![("path_length".to_string(), 3.5), ("trace_writer".to_string(), 12.0)];
+        let text = report.to_json().pretty();
+        let parsed = RunReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(parsed.observer_overheads, report.observer_overheads);
+        assert!(parsed.summary().contains("trace_writer ~12%"));
+        // Collapsed export works on the *parsed* report too.
+        let collapsed = parsed.to_collapsed();
+        assert!(collapsed.contains("emulate;verify "), "{collapsed}");
     }
 
     #[test]

@@ -151,6 +151,19 @@ impl Timeline {
         out
     }
 
+    /// Flamegraph-style collapsed stacks: one `root;child;leaf <us>` line
+    /// per unique stack, where the count is the stack's *self* time in
+    /// microseconds (duration minus closed children). The output feeds
+    /// standard flamegraph renderers directly.
+    pub fn to_collapsed(&self) -> String {
+        let tuples: Vec<(String, Option<usize>, Option<u64>)> = self
+            .records()
+            .into_iter()
+            .map(|s| (s.name, s.parent, s.dur.map(|d| d.as_micros() as u64)))
+            .collect();
+        collapse_spans(&tuples)
+    }
+
     /// JSON array of span objects (`name`, `parent`, `start_us`, `dur_us`,
     /// `thread`).
     pub fn to_json(&self) -> Json {
@@ -181,6 +194,48 @@ impl Timeline {
                 .collect(),
         )
     }
+}
+
+/// Shared collapsed-stack builder over `(name, parent, dur_us)` tuples —
+/// used by [`Timeline::to_collapsed`] on live records and by
+/// `RunReport::to_collapsed` on spans parsed back from JSON. Open spans
+/// (no duration) are skipped; identical stacks merge; output lines are
+/// sorted for determinism.
+pub(crate) fn collapse_spans(spans: &[(String, Option<usize>, Option<u64>)]) -> String {
+    // Self time = own duration minus the durations of direct children.
+    let mut self_us: Vec<i64> =
+        spans.iter().map(|(_, _, d)| d.unwrap_or(0) as i64).collect();
+    for s in spans {
+        if let (Some(p), Some(d)) = (s.1, s.2) {
+            if p < self_us.len() {
+                self_us[p] -= d as i64;
+            }
+        }
+    }
+    let stack_of = |mut i: usize| -> String {
+        let mut parts = vec![spans[i].0.as_str()];
+        while let Some(p) = spans[i].1 {
+            if p >= spans.len() {
+                break;
+            }
+            parts.push(spans[p].0.as_str());
+            i = p;
+        }
+        parts.reverse();
+        parts.join(";")
+    };
+    let mut merged: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+    for (i, (_, _, dur)) in spans.iter().enumerate() {
+        if dur.is_none() {
+            continue; // still open: no reliable time
+        }
+        *merged.entry(stack_of(i)).or_insert(0) += self_us[i].max(0) as u64;
+    }
+    let mut out = String::new();
+    for (stack, us) in merged {
+        out.push_str(&format!("{stack} {us}\n"));
+    }
+    out
 }
 
 /// RAII guard closing a span on drop.
@@ -271,6 +326,42 @@ mod tests {
         assert_eq!(tl.records().len(), 2);
         assert!(tl.total_of("work") >= Duration::ZERO);
         assert_eq!(tl.total_of("absent"), Duration::ZERO);
+    }
+
+    #[test]
+    fn collapsed_stacks_merge_and_subtract_children() {
+        // Hand-built span list: root (1000us) with two children (300+200),
+        // plus a second occurrence of the same leaf stack (100).
+        let spans = vec![
+            ("root".to_string(), None, Some(1000u64)),
+            ("child".to_string(), Some(0), Some(300)),
+            ("leaf".to_string(), Some(1), Some(50)),
+            ("child".to_string(), Some(0), Some(200)),
+            ("open".to_string(), Some(0), None),
+        ];
+        let out = collapse_spans(&spans);
+        // root self = 1000 - 300 - 200 = 500; the two child stacks merge
+        // (300-50 + 200 = 450); open spans are skipped.
+        assert!(out.contains("root 500\n"), "{out}");
+        assert!(out.contains("root;child 450\n"), "{out}");
+        assert!(out.contains("root;child;leaf 50\n"), "{out}");
+        assert!(!out.contains("open"), "{out}");
+    }
+
+    #[test]
+    fn timeline_collapsed_export() {
+        let tl = Timeline::new();
+        {
+            let _a = tl.enter("compile");
+            let _b = tl.enter("emit");
+        }
+        let out = tl.to_collapsed();
+        assert!(out.contains("compile;emit "), "{out}");
+        for line in out.lines() {
+            let (stack, n) = line.rsplit_once(' ').unwrap();
+            assert!(!stack.is_empty());
+            n.parse::<u64>().expect("numeric self time");
+        }
     }
 
     #[test]

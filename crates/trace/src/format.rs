@@ -1,0 +1,278 @@
+//! The on-disk trace format: constants, varint/zigzag primitives, the
+//! checksum, and the provenance header.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! header : "ICTR" | u16 version | u16 reserved | u32 meta_len | meta JSON
+//! block  : 'B' | u32 n_records | u32 payload_len | u64 first_pc
+//!              | u64 payload_checksum | payload
+//! trailer: 'E' | u64 total_records | u64 state_hash | u64 capture_wall_us
+//!              | u64 trailer_checksum
+//! ```
+//!
+//! Within a block payload each record is encoded as:
+//!
+//! ```text
+//! flags   u8      bit0 is_branch, bit1 taken,
+//!                 bits2-3 #mem reads (0..=2), bits4-5 #mem writes (0..=2)
+//! group   u8      InstGroup::code()
+//! pc      varint  zigzag(pc - prev_pc); prev_pc starts at the block's
+//!                 first_pc, so the first record's delta is zero
+//! srcs    u8 n + n slot bytes (RegId::index, 0..=64)
+//! dsts    u8 n + n slot bytes
+//! mem     per access (reads then writes):
+//!         varint zigzag(addr - prev_addr) + u8 size; prev_addr starts at 0
+//!         per block and is shared by reads and writes
+//! ```
+//!
+//! Delta-encoded PCs make straight-line code cost one byte per record for
+//! the PC; the shared address predictor makes streaming access patterns
+//! (the dominant case in all five workloads) one or two bytes per access.
+//!
+//! Versioning policy: `VERSION` bumps on any change to the header, block,
+//! or record layout. Readers reject other versions outright — traces are
+//! cheap to regenerate, so there is no cross-version migration path.
+
+use simcore::Region;
+use telemetry::Json;
+
+/// File magic: "ICTR" (Isa-Comparison TRace).
+pub const MAGIC: [u8; 4] = *b"ICTR";
+
+/// Current format version; readers accept exactly this.
+pub const VERSION: u16 = 1;
+
+/// Tag byte introducing a record block.
+pub const BLOCK_TAG: u8 = b'B';
+
+/// Tag byte introducing the trailer.
+pub const TRAILER_TAG: u8 = b'E';
+
+/// Records per block. Bounds reader memory (one decoded block at a time)
+/// and sets the granularity of checksum verification.
+pub const BLOCK_RECORDS: usize = 4096;
+
+/// FNV-1a 64-bit checksum over a byte slice — the per-block and trailer
+/// integrity check. Not cryptographic; it guards against truncation and
+/// bit-rot, not adversaries.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_01B3);
+    }
+    h
+}
+
+/// Append an LEB128 varint.
+#[inline]
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Read an LEB128 varint from `bytes` at `*pos`, advancing it.
+#[inline]
+pub fn get_varint(bytes: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *bytes.get(*pos)?;
+        *pos += 1;
+        if shift >= 64 {
+            return None; // over-long encoding
+        }
+        v |= ((byte & 0x7F) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Zigzag-map a signed delta so small magnitudes of either sign stay small.
+#[inline]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Provenance carried in the trace header: enough to key a trace cache, to
+/// rebuild per-kernel attribution without recompiling, and for
+/// `trace_tool info` to say what a file is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceMeta {
+    /// Workload name ("STREAM", ...), or a free-form label for ELF runs.
+    pub workload: String,
+    /// Compiler personality label ("gcc-12.2", ...).
+    pub compiler: String,
+    /// ISA label ("AArch64" / "RISC-V").
+    pub isa: String,
+    /// Size-class name ("test" / "small" / "paper"), or "elf".
+    pub size: String,
+    /// Named kernel regions of the traced program, so replay-side
+    /// path-length attribution needs no compile step.
+    pub regions: Vec<Region>,
+}
+
+impl TraceMeta {
+    /// Serialize to the header JSON blob.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("workload", Json::Str(self.workload.clone())),
+            ("compiler", Json::Str(self.compiler.clone())),
+            ("isa", Json::Str(self.isa.clone())),
+            ("size", Json::Str(self.size.clone())),
+            (
+                "regions",
+                Json::Arr(
+                    self.regions
+                        .iter()
+                        .map(|r| {
+                            Json::obj(vec![
+                                ("name", Json::Str(r.name.clone())),
+                                ("start", Json::Num(r.start as f64)),
+                                ("end", Json::Num(r.end as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parse the header JSON blob.
+    pub fn from_json(j: &Json) -> Option<TraceMeta> {
+        Some(TraceMeta {
+            workload: j.get("workload")?.as_str()?.to_string(),
+            compiler: j.get("compiler")?.as_str()?.to_string(),
+            isa: j.get("isa")?.as_str()?.to_string(),
+            size: j.get("size")?.as_str()?.to_string(),
+            regions: j
+                .get("regions")?
+                .as_arr()?
+                .iter()
+                .map(|r| {
+                    Some(Region {
+                        name: r.get("name")?.as_str()?.to_string(),
+                        start: r.get("start")?.as_u64()?,
+                        end: r.get("end")?.as_u64()?,
+                    })
+                })
+                .collect::<Option<Vec<Region>>>()?,
+        })
+    }
+
+    /// Whether this trace was captured for the given cell coordinates —
+    /// the cache-hit test `make_tables --trace-dir` uses.
+    pub fn matches_cell(&self, workload: &str, compiler: &str, isa: &str, size: &str) -> bool {
+        self.workload == workload
+            && self.compiler == compiler
+            && self.isa == isa
+            && self.size == size
+    }
+}
+
+/// The trailer: totals and the capture run's provenance hash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceTrailer {
+    /// Total records across all blocks.
+    pub total_records: u64,
+    /// [`simcore::CpuState::state_hash`] of the final architectural state
+    /// of the captured run (0 when the capturer had no state, e.g. a
+    /// synthetic stream).
+    pub state_hash: u64,
+    /// Wall-clock microseconds the capture run spent emulating — replay
+    /// speedup is measured against this.
+    pub capture_wall_us: u64,
+}
+
+impl TraceTrailer {
+    /// The 24 bytes covered by the trailer checksum.
+    pub fn checked_bytes(&self) -> [u8; 24] {
+        let mut b = [0u8; 24];
+        b[0..8].copy_from_slice(&self.total_records.to_le_bytes());
+        b[8..16].copy_from_slice(&self.state_hash.to_le_bytes());
+        b[16..24].copy_from_slice(&self.capture_wall_us.to_le_bytes());
+        b
+    }
+
+    /// Checksum over [`TraceTrailer::checked_bytes`].
+    pub fn checksum(&self) -> u64 {
+        fnv1a64(&self.checked_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trip() {
+        let mut buf = Vec::new();
+        let values = [0u64, 1, 127, 128, 300, 0xFFFF, u64::MAX / 2, u64::MAX];
+        for &v in &values {
+            put_varint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(get_varint(&buf, &mut pos), Some(v));
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn varint_truncation_is_none() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, u64::MAX);
+        buf.pop();
+        let mut pos = 0;
+        assert_eq!(get_varint(&buf, &mut pos), None);
+    }
+
+    #[test]
+    fn zigzag_round_trip() {
+        for v in [0i64, 1, -1, 4, -4, i64::MAX, i64::MIN, 0x1234_5678] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        // Small magnitudes encode small: |v| <= 63 fits one varint byte.
+        assert!(zigzag(-63) < 128);
+        assert!(zigzag(63) < 128);
+    }
+
+    #[test]
+    fn meta_json_round_trip() {
+        let meta = TraceMeta {
+            workload: "STREAM".into(),
+            compiler: "gcc-12.2".into(),
+            isa: "RISC-V".into(),
+            size: "test".into(),
+            regions: vec![Region { name: "copy".into(), start: 0x100, end: 0x180 }],
+        };
+        let text = meta.to_json().pretty();
+        let parsed = TraceMeta::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(parsed, meta);
+        assert!(parsed.matches_cell("STREAM", "gcc-12.2", "RISC-V", "test"));
+        assert!(!parsed.matches_cell("STREAM", "gcc-9.2", "RISC-V", "test"));
+    }
+
+    #[test]
+    fn trailer_checksum_changes_with_fields() {
+        let a = TraceTrailer { total_records: 10, state_hash: 1, capture_wall_us: 5 };
+        let b = TraceTrailer { total_records: 11, ..a };
+        assert_ne!(a.checksum(), b.checksum());
+    }
+}

@@ -1,0 +1,545 @@
+//! Memory-bounded trace replay.
+
+use std::io::{self, Read};
+use std::path::Path;
+
+use simcore::{MemList, Observer, RegSet, RetireSource, RetiredInst, SimError};
+use telemetry::Json;
+
+use crate::format::{
+    fnv1a64, get_varint, unzigzag, TraceMeta, TraceTrailer, BLOCK_RECORDS, BLOCK_TAG, MAGIC,
+    TRAILER_TAG, VERSION,
+};
+
+/// Everything that can go wrong reading a trace.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file does not start with the trace magic.
+    BadMagic,
+    /// The file's format version is not the one this build writes.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u16,
+    },
+    /// The header metadata blob failed to parse.
+    BadMeta(String),
+    /// A block or the trailer failed its checksum, or a record failed to
+    /// decode — the file is damaged.
+    Corrupt {
+        /// Zero-based index of the damaged block (`u64::MAX` for the
+        /// trailer).
+        block: u64,
+        /// What was wrong.
+        detail: String,
+    },
+    /// The file ended before the trailer (an interrupted capture).
+    Truncated,
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceError::BadMagic => write!(f, "not a trace file (bad magic)"),
+            TraceError::UnsupportedVersion { found } => {
+                write!(f, "unsupported trace format version {found} (this build reads {VERSION})")
+            }
+            TraceError::BadMeta(msg) => write!(f, "unreadable trace header: {msg}"),
+            TraceError::Corrupt { block, detail } if *block == u64::MAX => {
+                write!(f, "corrupt trace trailer: {detail}")
+            }
+            TraceError::Corrupt { block, detail } => {
+                write!(f, "corrupt trace block {block}: {detail}")
+            }
+            TraceError::Truncated => write!(f, "truncated trace (capture was interrupted)"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            TraceError::Truncated
+        } else {
+            TraceError::Io(e)
+        }
+    }
+}
+
+/// What a full verification pass learned about a trace.
+#[derive(Debug, Clone)]
+pub struct TraceSummary {
+    /// Header provenance.
+    pub meta: TraceMeta,
+    /// Format version of the file.
+    pub version: u16,
+    /// Records decoded.
+    pub records: u64,
+    /// Blocks decoded.
+    pub blocks: u64,
+    /// Trailer (totals + state hash + capture wall time).
+    pub trailer: TraceTrailer,
+}
+
+/// Streaming decoder: holds exactly one decoded block ([`BLOCK_RECORDS`]
+/// records) in memory regardless of trace length, verifying each block's
+/// checksum before yielding its records.
+///
+/// Use as an `Iterator<Item = Result<RetiredInst, TraceError>>`, or drive a
+/// set of observers directly via the [`RetireSource`] impl.
+pub struct TraceReader<R: Read> {
+    input: R,
+    meta: TraceMeta,
+    version: u16,
+    block: Vec<RetiredInst>,
+    next_in_block: usize,
+    blocks_read: u64,
+    records_read: u64,
+    trailer: Option<TraceTrailer>,
+    failed: bool,
+}
+
+impl TraceReader<io::BufReader<std::fs::File>> {
+    /// Open a trace file and parse its header.
+    pub fn open(path: &Path) -> Result<Self, TraceError> {
+        let file = std::fs::File::open(path)?;
+        TraceReader::new(io::BufReader::new(file))
+    }
+}
+
+fn read_exact_arr<const N: usize>(input: &mut impl Read) -> Result<[u8; N], TraceError> {
+    let mut buf = [0u8; N];
+    input.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Wrap a byte stream and parse the header.
+    pub fn new(mut input: R) -> Result<Self, TraceError> {
+        let magic: [u8; 4] = read_exact_arr(&mut input)?;
+        if magic != MAGIC {
+            return Err(TraceError::BadMagic);
+        }
+        let version = u16::from_le_bytes(read_exact_arr(&mut input)?);
+        if version != VERSION {
+            return Err(TraceError::UnsupportedVersion { found: version });
+        }
+        let _reserved = u16::from_le_bytes(read_exact_arr::<2>(&mut input)?);
+        let meta_len = u32::from_le_bytes(read_exact_arr(&mut input)?) as usize;
+        // A capture never writes megabytes of metadata; a huge length here
+        // means a damaged header, not a big program.
+        if meta_len > 16 << 20 {
+            return Err(TraceError::BadMeta(format!("implausible header size {meta_len}")));
+        }
+        let mut meta_bytes = vec![0u8; meta_len];
+        input.read_exact(&mut meta_bytes)?;
+        let meta_text =
+            String::from_utf8(meta_bytes).map_err(|e| TraceError::BadMeta(e.to_string()))?;
+        let meta_json = Json::parse(&meta_text).map_err(TraceError::BadMeta)?;
+        let meta = TraceMeta::from_json(&meta_json)
+            .ok_or_else(|| TraceError::BadMeta("missing provenance fields".into()))?;
+        Ok(TraceReader {
+            input,
+            meta,
+            version,
+            block: Vec::new(),
+            next_in_block: 0,
+            blocks_read: 0,
+            records_read: 0,
+            trailer: None,
+            failed: false,
+        })
+    }
+
+    /// Header provenance.
+    pub fn meta(&self) -> &TraceMeta {
+        &self.meta
+    }
+
+    /// Format version of the file being read.
+    pub fn version(&self) -> u16 {
+        self.version
+    }
+
+    /// The trailer, available once iteration has reached the end of file.
+    pub fn trailer(&self) -> Option<&TraceTrailer> {
+        self.trailer.as_ref()
+    }
+
+    /// Records yielded so far.
+    pub fn records_read(&self) -> u64 {
+        self.records_read
+    }
+
+    /// Blocks decoded so far.
+    pub fn blocks_read(&self) -> u64 {
+        self.blocks_read
+    }
+
+    /// Decode one record from `payload` at `pos`.
+    fn decode_record(
+        payload: &[u8],
+        pos: &mut usize,
+        prev_pc: &mut u64,
+        prev_addr: &mut u64,
+    ) -> Option<RetiredInst> {
+        let flags = *payload.get(*pos)?;
+        *pos += 1;
+        let group = simcore::InstGroup::from_code(*payload.get(*pos)?)?;
+        *pos += 1;
+        let delta = unzigzag(get_varint(payload, pos)?);
+        let pc = prev_pc.wrapping_add(delta as u64);
+        *prev_pc = pc;
+        let mut ri = RetiredInst::new(pc, group);
+        ri.is_branch = flags & 1 != 0;
+        ri.taken = flags & 2 != 0;
+        for set in [&mut ri.srcs, &mut ri.dsts] {
+            let n = *payload.get(*pos)?;
+            *pos += 1;
+            if n as usize > simcore::NUM_REG_SLOTS {
+                return None;
+            }
+            let mut s = RegSet::empty();
+            for _ in 0..n {
+                let slot = *payload.get(*pos)?;
+                *pos += 1;
+                if slot as usize >= simcore::NUM_REG_SLOTS {
+                    return None;
+                }
+                s.insert(simcore::RegId::from_index(slot as usize));
+            }
+            *set = s;
+        }
+        let n_reads = (flags >> 2) & 0x3;
+        let n_writes = (flags >> 4) & 0x3;
+        if n_reads > 2 || n_writes > 2 {
+            return None;
+        }
+        for (n, list) in
+            [(n_reads, &mut ri.mem_reads), (n_writes, &mut ri.mem_writes)]
+        {
+            let mut l = MemList::empty();
+            for _ in 0..n {
+                let delta = unzigzag(get_varint(payload, pos)?);
+                let addr = prev_addr.wrapping_add(delta as u64);
+                *prev_addr = addr;
+                let size = *payload.get(*pos)?;
+                *pos += 1;
+                l.push(addr, size);
+            }
+            *list = l;
+        }
+        Some(ri)
+    }
+
+    /// Read and decode the next block. Returns `false` once the trailer has
+    /// been consumed (end of trace).
+    fn next_block(&mut self) -> Result<bool, TraceError> {
+        let tag: [u8; 1] = read_exact_arr(&mut self.input)?;
+        match tag[0] {
+            BLOCK_TAG => {}
+            TRAILER_TAG => {
+                let trailer = TraceTrailer {
+                    total_records: u64::from_le_bytes(read_exact_arr(&mut self.input)?),
+                    state_hash: u64::from_le_bytes(read_exact_arr(&mut self.input)?),
+                    capture_wall_us: u64::from_le_bytes(read_exact_arr(&mut self.input)?),
+                };
+                let stored = u64::from_le_bytes(read_exact_arr(&mut self.input)?);
+                if stored != trailer.checksum() {
+                    return Err(TraceError::Corrupt {
+                        block: u64::MAX,
+                        detail: format!(
+                            "trailer checksum {stored:#018x} != computed {:#018x}",
+                            trailer.checksum()
+                        ),
+                    });
+                }
+                if trailer.total_records != self.records_read {
+                    return Err(TraceError::Corrupt {
+                        block: u64::MAX,
+                        detail: format!(
+                            "trailer claims {} records, file holds {}",
+                            trailer.total_records, self.records_read
+                        ),
+                    });
+                }
+                self.trailer = Some(trailer);
+                return Ok(false);
+            }
+            other => {
+                return Err(TraceError::Corrupt {
+                    block: self.blocks_read,
+                    detail: format!("unknown section tag {other:#04x}"),
+                })
+            }
+        }
+        let n_records = u32::from_le_bytes(read_exact_arr(&mut self.input)?) as usize;
+        let payload_len = u32::from_le_bytes(read_exact_arr(&mut self.input)?) as usize;
+        let first_pc = u64::from_le_bytes(read_exact_arr(&mut self.input)?);
+        let stored_checksum = u64::from_le_bytes(read_exact_arr(&mut self.input)?);
+        if n_records == 0 || n_records > BLOCK_RECORDS {
+            return Err(TraceError::Corrupt {
+                block: self.blocks_read,
+                detail: format!("implausible record count {n_records}"),
+            });
+        }
+        // Worst-case record encoding is well under 64 bytes; anything
+        // larger is a corrupt length that would drive a huge allocation.
+        if payload_len > n_records * 64 {
+            return Err(TraceError::Corrupt {
+                block: self.blocks_read,
+                detail: format!("implausible payload length {payload_len} for {n_records} records"),
+            });
+        }
+        let mut payload = vec![0u8; payload_len];
+        self.input.read_exact(&mut payload)?;
+        let computed = fnv1a64(&payload);
+        if computed != stored_checksum {
+            return Err(TraceError::Corrupt {
+                block: self.blocks_read,
+                detail: format!("checksum {stored_checksum:#018x} != computed {computed:#018x}"),
+            });
+        }
+        self.block.clear();
+        self.block.reserve(n_records);
+        let mut pos = 0usize;
+        let mut prev_pc = first_pc;
+        let mut prev_addr = 0u64;
+        for i in 0..n_records {
+            match Self::decode_record(&payload, &mut pos, &mut prev_pc, &mut prev_addr) {
+                Some(ri) => self.block.push(ri),
+                None => {
+                    return Err(TraceError::Corrupt {
+                        block: self.blocks_read,
+                        detail: format!("record {i} of {n_records} failed to decode"),
+                    })
+                }
+            }
+        }
+        if pos != payload.len() {
+            return Err(TraceError::Corrupt {
+                block: self.blocks_read,
+                detail: format!("{} trailing payload bytes after the last record", payload.len() - pos),
+            });
+        }
+        self.next_in_block = 0;
+        self.blocks_read += 1;
+        Ok(true)
+    }
+
+    /// Decode the whole trace, verifying every checksum and the trailer.
+    /// Consumes the reader; the records themselves are discarded.
+    pub fn verify(mut self) -> Result<TraceSummary, TraceError> {
+        for r in self.by_ref() {
+            r?;
+        }
+        let trailer = self.trailer.ok_or(TraceError::Truncated)?;
+        Ok(TraceSummary {
+            meta: self.meta,
+            version: self.version,
+            records: self.records_read,
+            blocks: self.blocks_read,
+            trailer,
+        })
+    }
+}
+
+impl<R: Read> Iterator for TraceReader<R> {
+    type Item = Result<RetiredInst, TraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        while self.next_in_block >= self.block.len() {
+            if self.trailer.is_some() {
+                return None;
+            }
+            match self.next_block() {
+                Ok(true) => {}
+                Ok(false) => return None,
+                Err(e) => {
+                    self.failed = true;
+                    return Some(Err(e));
+                }
+            }
+        }
+        let ri = self.block[self.next_in_block];
+        self.next_in_block += 1;
+        self.records_read += 1;
+        Some(Ok(ri))
+    }
+}
+
+impl<R: Read> RetireSource for TraceReader<R> {
+    /// Replay the trace through `observers`. Corruption surfaces as a
+    /// [`SimError::Fault`] naming the damaged block, so replay failures
+    /// flow through the same typed error paths as live-simulation faults.
+    fn drive(&mut self, observers: &mut [&mut dyn Observer]) -> Result<u64, SimError> {
+        let start = self.records_read;
+        loop {
+            match self.next() {
+                Some(Ok(ri)) => {
+                    for obs in observers.iter_mut() {
+                        obs.on_retire(&ri);
+                    }
+                }
+                Some(Err(e)) => {
+                    return Err(SimError::Fault { pc: 0, msg: format!("trace replay: {e}") })
+                }
+                None => break,
+            }
+        }
+        if self.trailer.is_none() {
+            return Err(SimError::Fault {
+                pc: 0,
+                msg: format!("trace replay: {}", TraceError::Truncated),
+            });
+        }
+        for obs in observers.iter_mut() {
+            obs.on_finish();
+        }
+        Ok(self.records_read - start)
+    }
+
+    fn source_name(&self) -> &'static str {
+        "trace"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::TraceWriter;
+    use simcore::{InstGroup, MemList, RegId, RegSet};
+
+    fn meta() -> TraceMeta {
+        TraceMeta {
+            workload: "synthetic".into(),
+            compiler: "none".into(),
+            isa: "RISC-V".into(),
+            size: "test".into(),
+            regions: vec![],
+        }
+    }
+
+    fn sample_stream(n: usize) -> Vec<RetiredInst> {
+        (0..n)
+            .map(|i| {
+                let group = InstGroup::ALL[i % InstGroup::ALL.len()];
+                let mut ri = RetiredInst::new(0x1_0000 + (i as u64) * 4, group);
+                ri.srcs = RegSet::of(&[RegId::Int((i % 31) as u8 + 1)]);
+                ri.dsts = RegSet::of(&[RegId::Fp((i % 32) as u8)]);
+                if group == InstGroup::Load {
+                    ri.mem_reads = MemList::one(0x20_0000 + (i as u64 % 64) * 8, 8);
+                }
+                if group == InstGroup::Store {
+                    let mut l = MemList::one(0x30_0000 + (i as u64 % 64) * 8, 8);
+                    l.push(0x30_0000 + (i as u64 % 64) * 8 + 8, 8);
+                    ri.mem_writes = l;
+                }
+                ri.is_branch = group == InstGroup::Branch;
+                ri.taken = ri.is_branch && i % 3 == 0;
+                ri
+            })
+            .collect()
+    }
+
+    fn capture(stream: &[RetiredInst]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        let mut w = TraceWriter::new(&mut buf, &meta()).unwrap();
+        for ri in stream {
+            w.on_retire(ri);
+        }
+        w.finish(0xDEAD_BEEF, std::time::Duration::from_micros(123)).unwrap();
+        buf
+    }
+
+    #[test]
+    fn round_trip_bit_identity() {
+        let stream = sample_stream(10_000);
+        let buf = capture(&stream);
+        let reader = TraceReader::new(io::Cursor::new(&buf)).unwrap();
+        let decoded: Vec<RetiredInst> = reader.map(|r| r.unwrap()).collect();
+        assert_eq!(decoded, stream);
+    }
+
+    #[test]
+    fn trailer_and_meta_survive() {
+        let stream = sample_stream(100);
+        let buf = capture(&stream);
+        let mut reader = TraceReader::new(io::Cursor::new(&buf)).unwrap();
+        assert_eq!(reader.meta().workload, "synthetic");
+        while reader.next().is_some() {}
+        let t = reader.trailer().expect("trailer read");
+        assert_eq!(t.total_records, 100);
+        assert_eq!(t.state_hash, 0xDEAD_BEEF);
+        assert_eq!(t.capture_wall_us, 123);
+    }
+
+    #[test]
+    fn corrupted_block_is_detected() {
+        let stream = sample_stream(5000);
+        let mut buf = capture(&stream);
+        // Flip a byte well inside the first block's payload.
+        let idx = buf.len() / 3;
+        buf[idx] ^= 0x40;
+        let reader = TraceReader::new(io::Cursor::new(&buf)).unwrap();
+        let err = reader.verify().expect_err("corruption must be caught");
+        assert!(matches!(err, TraceError::Corrupt { .. }), "got: {err}");
+    }
+
+    #[test]
+    fn truncated_trace_is_detected() {
+        let stream = sample_stream(5000);
+        let buf = capture(&stream);
+        let cut = &buf[..buf.len() - 40];
+        let reader = TraceReader::new(io::Cursor::new(cut)).unwrap();
+        let err = reader.verify().expect_err("truncation must be caught");
+        assert!(
+            matches!(err, TraceError::Truncated | TraceError::Corrupt { .. }),
+            "got: {err}"
+        );
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = TraceReader::new(io::Cursor::new(b"NOPE....".to_vec()))
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, TraceError::BadMagic));
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let stream = sample_stream(10);
+        let mut buf = capture(&stream);
+        buf[4] = 0xFF; // version low byte
+        let err = TraceReader::new(io::Cursor::new(&buf)).map(|_| ()).unwrap_err();
+        assert!(matches!(err, TraceError::UnsupportedVersion { .. }));
+    }
+
+    #[test]
+    fn drive_feeds_observers_and_counts() {
+        let stream = sample_stream(2500);
+        let buf = capture(&stream);
+        let mut reader = TraceReader::new(io::Cursor::new(&buf)).unwrap();
+        let mut count = simcore::CountingObserver::default();
+        let n = {
+            let mut obs: Vec<&mut dyn Observer> = vec![&mut count];
+            reader.drive(&mut obs).unwrap()
+        };
+        assert_eq!(n, 2500);
+        assert_eq!(count.retired, 2500);
+    }
+
+    #[test]
+    fn two_captures_are_byte_identical() {
+        let stream = sample_stream(1000);
+        assert_eq!(capture(&stream), capture(&stream), "capture is deterministic");
+    }
+}

@@ -1,0 +1,261 @@
+//! Streaming trace capture.
+
+use std::io::{self, Write};
+use std::path::Path;
+
+use simcore::{Observer, RetiredInst};
+
+use crate::format::{
+    fnv1a64, put_varint, zigzag, TraceMeta, TraceTrailer, BLOCK_RECORDS, BLOCK_TAG, MAGIC,
+    TRAILER_TAG, VERSION,
+};
+
+/// Headline numbers from a finished capture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteSummary {
+    /// Records written.
+    pub records: u64,
+    /// Blocks written.
+    pub blocks: u64,
+    /// Total bytes written, header and trailer included.
+    pub bytes: u64,
+}
+
+/// An [`Observer`] that encodes every retired instruction into the compact
+/// block format as it streams past, holding at most one block
+/// ([`BLOCK_RECORDS`] records) of encoded bytes in memory.
+///
+/// `Observer::on_retire` cannot return errors, so I/O failures are latched
+/// internally: the writer goes quiet after the first error and
+/// [`TraceWriter::finish`] reports it. A capture is only trustworthy if
+/// `finish` returns `Ok`.
+pub struct TraceWriter<W: Write> {
+    out: W,
+    payload: Vec<u8>,
+    n_in_block: u32,
+    first_pc: u64,
+    prev_pc: u64,
+    prev_addr: u64,
+    records: u64,
+    blocks: u64,
+    bytes: u64,
+    error: Option<io::Error>,
+}
+
+impl TraceWriter<io::BufWriter<std::fs::File>> {
+    /// Open `path` for writing and emit the header.
+    pub fn create(path: &Path, meta: &TraceMeta) -> io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        TraceWriter::new(io::BufWriter::new(file), meta)
+    }
+}
+
+impl TraceWriter<io::Sink> {
+    /// A writer that encodes but discards everything — used to measure the
+    /// observer-side cost of tracing without touching the filesystem.
+    pub fn sink(meta: &TraceMeta) -> Self {
+        TraceWriter::new(io::sink(), meta).expect("sink writes cannot fail")
+    }
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Wrap `out` and write the header.
+    pub fn new(mut out: W, meta: &TraceMeta) -> io::Result<Self> {
+        let meta_bytes = meta.to_json().pretty().into_bytes();
+        out.write_all(&MAGIC)?;
+        out.write_all(&VERSION.to_le_bytes())?;
+        out.write_all(&0u16.to_le_bytes())?;
+        out.write_all(&(meta_bytes.len() as u32).to_le_bytes())?;
+        out.write_all(&meta_bytes)?;
+        Ok(TraceWriter {
+            out,
+            payload: Vec::with_capacity(BLOCK_RECORDS * 8),
+            n_in_block: 0,
+            first_pc: 0,
+            prev_pc: 0,
+            prev_addr: 0,
+            records: 0,
+            blocks: 0,
+            bytes: (4 + 2 + 2 + 4 + meta_bytes.len()) as u64,
+            error: None,
+        })
+    }
+
+    /// Records written so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Bytes written so far (flushed blocks only).
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes
+    }
+
+    /// The first latched I/O error, if any.
+    pub fn io_error(&self) -> Option<&io::Error> {
+        self.error.as_ref()
+    }
+
+    fn encode(&mut self, ri: &RetiredInst) {
+        if self.n_in_block == 0 {
+            self.first_pc = ri.pc;
+            self.prev_pc = ri.pc;
+            self.prev_addr = 0;
+        }
+        let n_reads = ri.mem_reads.len() as u8;
+        let n_writes = ri.mem_writes.len() as u8;
+        let flags = (ri.is_branch as u8)
+            | ((ri.taken as u8) << 1)
+            | (n_reads << 2)
+            | (n_writes << 4);
+        self.payload.push(flags);
+        self.payload.push(ri.group.code());
+        put_varint(&mut self.payload, zigzag(ri.pc.wrapping_sub(self.prev_pc) as i64));
+        self.prev_pc = ri.pc;
+        for set in [&ri.srcs, &ri.dsts] {
+            self.payload.push(set.len() as u8);
+            for r in set.iter() {
+                self.payload.push(r.index() as u8);
+            }
+        }
+        for a in ri.mem_reads.iter().chain(ri.mem_writes.iter()) {
+            put_varint(&mut self.payload, zigzag(a.addr.wrapping_sub(self.prev_addr) as i64));
+            self.payload.push(a.size);
+            self.prev_addr = a.addr;
+        }
+        self.n_in_block += 1;
+        self.records += 1;
+        if self.n_in_block as usize >= BLOCK_RECORDS {
+            self.flush_block();
+        }
+    }
+
+    fn flush_block(&mut self) {
+        if self.n_in_block == 0 || self.error.is_some() {
+            self.payload.clear();
+            self.n_in_block = 0;
+            return;
+        }
+        let checksum = fnv1a64(&self.payload);
+        let write = (|| -> io::Result<()> {
+            self.out.write_all(&[BLOCK_TAG])?;
+            self.out.write_all(&self.n_in_block.to_le_bytes())?;
+            self.out.write_all(&(self.payload.len() as u32).to_le_bytes())?;
+            self.out.write_all(&self.first_pc.to_le_bytes())?;
+            self.out.write_all(&checksum.to_le_bytes())?;
+            self.out.write_all(&self.payload)
+        })();
+        match write {
+            Ok(()) => {
+                self.bytes += (1 + 4 + 4 + 8 + 8 + self.payload.len()) as u64;
+                self.blocks += 1;
+            }
+            Err(e) => self.error = Some(e),
+        }
+        self.payload.clear();
+        self.n_in_block = 0;
+    }
+
+    /// Flush the open block, write the trailer, and flush the sink.
+    ///
+    /// `state_hash` is the final [`simcore::CpuState::state_hash`] of the
+    /// captured run (0 if unavailable); `capture_wall` is the wall time the
+    /// capture run spent emulating, recorded so replays can report their
+    /// speedup. Reports telemetry counters `trace_bytes_written`,
+    /// `trace_blocks_written`, `trace_records_written` on success.
+    pub fn finish(
+        mut self,
+        state_hash: u64,
+        capture_wall: std::time::Duration,
+    ) -> io::Result<WriteSummary> {
+        self.flush_block();
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        let trailer = TraceTrailer {
+            total_records: self.records,
+            state_hash,
+            capture_wall_us: capture_wall.as_micros() as u64,
+        };
+        self.out.write_all(&[TRAILER_TAG])?;
+        self.out.write_all(&trailer.checked_bytes())?;
+        self.out.write_all(&trailer.checksum().to_le_bytes())?;
+        self.out.flush()?;
+        self.bytes += 1 + 24 + 8;
+        let tel = telemetry::global();
+        tel.counter_add("trace_bytes_written", self.bytes);
+        tel.counter_add("trace_blocks_written", self.blocks);
+        tel.counter_add("trace_records_written", self.records);
+        Ok(WriteSummary { records: self.records, blocks: self.blocks, bytes: self.bytes })
+    }
+}
+
+impl<W: Write> Observer for TraceWriter<W> {
+    #[inline]
+    fn on_retire(&mut self, ri: &RetiredInst) {
+        if self.error.is_none() {
+            self.encode(ri);
+        }
+    }
+
+    fn on_finish(&mut self) {
+        self.flush_block();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta() -> TraceMeta {
+        TraceMeta {
+            workload: "synthetic".into(),
+            compiler: "none".into(),
+            isa: "RISC-V".into(),
+            size: "test".into(),
+            regions: vec![],
+        }
+    }
+
+    #[test]
+    fn writer_goes_quiet_after_io_error() {
+        /// Fails every write after the header.
+        struct FailAfter(usize);
+        impl Write for FailAfter {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                if self.0 == 0 {
+                    return Err(io::Error::new(io::ErrorKind::Other, "disk full"));
+                }
+                self.0 = self.0.saturating_sub(buf.len());
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut w = TraceWriter::new(FailAfter(1 << 20), &meta()).unwrap();
+        // Force many block flushes against a sink that fails immediately
+        // after the header budget is spent.
+        w.error = Some(io::Error::new(io::ErrorKind::Other, "disk full"));
+        let ri = RetiredInst::new(0x1000, simcore::InstGroup::IntAlu);
+        for _ in 0..10 {
+            w.on_retire(&ri);
+        }
+        assert_eq!(w.records(), 0, "no records accepted after an error");
+        assert!(w.finish(0, std::time::Duration::ZERO).is_err());
+    }
+
+    #[test]
+    fn sink_writer_counts() {
+        let mut w = TraceWriter::sink(&meta());
+        let ri = RetiredInst::new(0x1000, simcore::InstGroup::IntAlu);
+        for _ in 0..5000 {
+            w.on_retire(&ri);
+        }
+        assert_eq!(w.records(), 5000);
+        let s = w.finish(7, std::time::Duration::from_micros(10)).unwrap();
+        assert_eq!(s.records, 5000);
+        assert_eq!(s.blocks, 2, "5000 records span two {BLOCK_RECORDS}-record blocks");
+        assert!(s.bytes > 0);
+    }
+}

@@ -44,6 +44,18 @@ pub enum SizeClass {
     Paper,
 }
 
+impl SizeClass {
+    /// Short lower-case label, used in trace filenames and provenance
+    /// headers.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SizeClass::Test => "test",
+            SizeClass::Small => "small",
+            SizeClass::Paper => "paper",
+        }
+    }
+}
+
 /// The five benchmarks of the paper's section 2.1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Workload {
