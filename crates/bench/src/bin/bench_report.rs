@@ -1,0 +1,353 @@
+//! Bench-trajectory harness: run a pinned emulation suite, append a
+//! schema-versioned entry to `BENCH_history.jsonl`, regenerate
+//! `BENCH_baseline.json`, and compare against the previous entry.
+//!
+//! ```text
+//! bench_report [--size test|small|paper] [--runs N] [--threshold PCT]
+//!              [--history PATH] [--baseline PATH] [--strict]
+//!              [--mips-scale F]
+//! ```
+//!
+//! The suite is pinned: all five workloads x {RISC-V, AArch64} x gcc-12.2,
+//! each cell emulated bare (no observers) `--runs` times with the best
+//! (highest-MIPS) run kept. The geomean of per-cell MIPS is the headline
+//! number compared against the previous history entry; a drop larger than
+//! `--threshold` percent (default 20) is a regression. Report-only by
+//! default; `--strict` exits 4 on regression. Malformed history entries
+//! (wrong schema, missing fields) exit 2 in either mode.
+//!
+//! `--mips-scale` multiplies every measured MIPS value before recording —
+//! a test hook so the regression detector can be exercised without
+//! needing a genuinely slower build.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use isacmp::telemetry::Json;
+use isacmp::{compile, isa_label, try_execute, IsaKind, Personality, SizeClass, Workload};
+
+/// History schema version written and accepted by this binary.
+const SCHEMA: u64 = 1;
+/// Regression threshold (percent geomean-MIPS drop) when not overridden.
+const DEFAULT_THRESHOLD_PCT: f64 = 20.0;
+/// Best-of-N runs per cell when `--runs` is not given.
+const DEFAULT_RUNS: u32 = 3;
+
+const EXIT_SCHEMA: u8 = 2;
+const EXIT_REGRESSION: u8 = 4;
+
+struct Args {
+    size: SizeClass,
+    runs: u32,
+    threshold_pct: f64,
+    history: PathBuf,
+    baseline: PathBuf,
+    strict: bool,
+    mips_scale: f64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_report [--size test|small|paper] [--runs N] [--threshold PCT]\n\
+         \x20                   [--history PATH] [--baseline PATH] [--strict] [--mips-scale F]"
+    );
+    std::process::exit(1);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        size: SizeClass::Small,
+        runs: DEFAULT_RUNS,
+        threshold_pct: DEFAULT_THRESHOLD_PCT,
+        history: PathBuf::from("BENCH_history.jsonl"),
+        baseline: PathBuf::from("BENCH_baseline.json"),
+        strict: false,
+        mips_scale: 1.0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| it.next().unwrap_or_else(|| {
+            eprintln!("bench_report: {flag} needs a value");
+            usage()
+        });
+        match a.as_str() {
+            "--size" => {
+                args.size = match value("--size").as_str() {
+                    "test" => SizeClass::Test,
+                    "small" => SizeClass::Small,
+                    "paper" => SizeClass::Paper,
+                    other => {
+                        eprintln!("bench_report: unknown size class {other:?}");
+                        usage()
+                    }
+                }
+            }
+            "--runs" => {
+                args.runs = value("--runs").parse::<u32>().ok().filter(|n| *n > 0).unwrap_or_else(
+                    || {
+                        eprintln!("bench_report: --runs needs a positive integer");
+                        usage()
+                    },
+                )
+            }
+            "--threshold" => {
+                args.threshold_pct =
+                    value("--threshold").parse::<f64>().ok().filter(|t| t.is_finite() && *t >= 0.0)
+                        .unwrap_or_else(|| {
+                            eprintln!("bench_report: --threshold needs a non-negative percent");
+                            usage()
+                        })
+            }
+            "--history" => args.history = PathBuf::from(value("--history")),
+            "--baseline" => args.baseline = PathBuf::from(value("--baseline")),
+            "--strict" => args.strict = true,
+            "--mips-scale" => {
+                args.mips_scale = value("--mips-scale")
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|s| s.is_finite() && *s > 0.0)
+                    .unwrap_or_else(|| {
+                        eprintln!("bench_report: --mips-scale needs a positive number");
+                        usage()
+                    })
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("bench_report: unknown flag {other:?}");
+                usage()
+            }
+        }
+    }
+    args
+}
+
+/// One measured suite cell: best-of-N bare emulation of a compiled kernel.
+struct CellResult {
+    workload: &'static str,
+    isa: &'static str,
+    compiler: &'static str,
+    retired: u64,
+    wall_ms: f64,
+    mips: f64,
+}
+
+impl CellResult {
+    fn label(&self) -> String {
+        format!("{}/{}/{}", self.workload, self.isa, self.compiler)
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("cell", Json::Str(self.label())),
+            ("retired", Json::Num(self.retired as f64)),
+            ("wall_ms", Json::Num(self.wall_ms)),
+            ("mips", Json::Num(self.mips)),
+        ])
+    }
+}
+
+fn measure_cell(
+    workload: Workload,
+    isa: IsaKind,
+    personality: &Personality,
+    size: SizeClass,
+    runs: u32,
+    mips_scale: f64,
+) -> Result<CellResult, String> {
+    let compiled = compile(&workload.build(size), isa, personality);
+    let mut best: Option<CellResult> = None;
+    for _ in 0..runs {
+        let (_, stats) = try_execute(&compiled, &mut [], None, None)
+            .map_err(|e| format!("{}/{}: {e}", workload.name(), isa_label(isa)))?;
+        let mips = stats.host_mips() * mips_scale;
+        if best.as_ref().is_none_or(|b| mips > b.mips) {
+            best = Some(CellResult {
+                workload: workload.name(),
+                isa: isa_label(isa),
+                compiler: personality.label(),
+                retired: stats.retired,
+                wall_ms: stats.wall.as_secs_f64() * 1e3,
+                mips,
+            });
+        }
+    }
+    Ok(best.expect("runs >= 1"))
+}
+
+fn geomean(values: impl Iterator<Item = f64>) -> f64 {
+    let (mut log_sum, mut n) = (0.0f64, 0u32);
+    for v in values {
+        if v > 0.0 {
+            log_sum += v.ln();
+            n += 1;
+        }
+    }
+    if n == 0 { 0.0 } else { (log_sum / n as f64).exp() }
+}
+
+/// A validated history entry (the fields the comparator needs).
+struct Entry {
+    timestamp: u64,
+    size: String,
+    geomean_mips: f64,
+}
+
+/// Parse and schema-check one history line. Any failure here is a schema
+/// error: the file exists but this binary cannot trust its contents.
+fn parse_entry(line: &str, lineno: usize) -> Result<Entry, String> {
+    let at = |what: &str| format!("history line {lineno}: {what}");
+    let j = Json::parse(line).map_err(|e| at(&format!("not valid JSON ({e})")))?;
+    let schema = j.get("schema").and_then(Json::as_u64).ok_or_else(|| at("missing schema"))?;
+    if schema != SCHEMA {
+        return Err(at(&format!("schema {schema} (this binary reads schema {SCHEMA})")));
+    }
+    let geomean_mips = j
+        .get("geomean_mips")
+        .and_then(Json::as_f64)
+        .filter(|m| m.is_finite() && *m >= 0.0)
+        .ok_or_else(|| at("missing or invalid geomean_mips"))?;
+    let timestamp =
+        j.get("timestamp").and_then(Json::as_u64).ok_or_else(|| at("missing timestamp"))?;
+    let size =
+        j.get("size").and_then(Json::as_str).ok_or_else(|| at("missing size"))?.to_string();
+    Ok(Entry { timestamp, size, geomean_mips })
+}
+
+/// Last entry in the history file, if any. `Ok(None)` when the file does
+/// not exist yet (first run); `Err` on any malformed line.
+fn read_last_entry(path: &std::path::Path) -> Result<Option<Entry>, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(format!("{}: {e}", path.display())),
+    };
+    let mut last = None;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        last = Some(parse_entry(line, i + 1)?);
+    }
+    Ok(last)
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let personality = Personality::gcc122();
+
+    // Validate existing history BEFORE measuring, so a corrupt file fails
+    // fast instead of after a long suite run.
+    let prev = match read_last_entry(&args.history) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("bench_report: schema error: {e}");
+            return ExitCode::from(EXIT_SCHEMA);
+        }
+    };
+
+    let suite: Vec<(Workload, IsaKind)> = Workload::ALL
+        .iter()
+        .flat_map(|w| [(*w, IsaKind::RiscV), (*w, IsaKind::AArch64)])
+        .collect();
+
+    println!(
+        "bench_report: {} cells x best-of-{} @ size {}",
+        suite.len(),
+        args.runs,
+        args.size.name()
+    );
+    let mut cells = Vec::with_capacity(suite.len());
+    for (workload, isa) in suite {
+        match measure_cell(workload, isa, &personality, args.size, args.runs, args.mips_scale) {
+            Ok(cell) => {
+                println!(
+                    "  {:<28} {:>12} retired  {:>9.2} ms  {:>8.2} MIPS",
+                    cell.label(),
+                    cell.retired,
+                    cell.wall_ms,
+                    cell.mips
+                );
+                cells.push(cell);
+            }
+            Err(e) => {
+                eprintln!("bench_report: cell failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let geomean_mips = geomean(cells.iter().map(|c| c.mips));
+    let total_retired: u64 = cells.iter().map(|c| c.retired).sum();
+    let timestamp =
+        SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0);
+    println!("  geomean {geomean_mips:.2} MIPS | {total_retired} instructions retired");
+
+    let entry = Json::obj(vec![
+        ("schema", Json::Num(SCHEMA as f64)),
+        ("timestamp", Json::Num(timestamp as f64)),
+        ("size", Json::Str(args.size.name().to_string())),
+        ("runs", Json::Num(args.runs as f64)),
+        ("geomean_mips", Json::Num(geomean_mips)),
+        ("total_retired", Json::Num(total_retired as f64)),
+        ("cells", Json::Arr(cells.iter().map(CellResult::to_json).collect())),
+    ]);
+
+    // Append to history, then regenerate the baseline from this entry.
+    let mut history_text = entry.compact();
+    history_text.push('\n');
+    if let Err(e) = append(&args.history, &history_text) {
+        eprintln!("bench_report: cannot write {}: {e}", args.history.display());
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&args.baseline, format!("{}\n", entry.pretty()).as_bytes()) {
+        eprintln!("bench_report: cannot write {}: {e}", args.baseline.display());
+        return ExitCode::FAILURE;
+    }
+    println!("  history  -> {}", args.history.display());
+    println!("  baseline -> {}", args.baseline.display());
+
+    // Trajectory comparison against the previous entry, if there was one.
+    match prev {
+        None => {
+            println!("  trajectory: first entry, nothing to compare against");
+            ExitCode::SUCCESS
+        }
+        Some(prev) => {
+            if prev.size != args.size.name() {
+                println!(
+                    "  trajectory: previous entry used size {} (now {}), skipping comparison",
+                    prev.size,
+                    args.size.name()
+                );
+                return ExitCode::SUCCESS;
+            }
+            let delta_pct = if prev.geomean_mips > 0.0 {
+                (geomean_mips - prev.geomean_mips) / prev.geomean_mips * 100.0
+            } else {
+                0.0
+            };
+            println!(
+                "  trajectory: {:.2} -> {:.2} geomean MIPS ({:+.1}%) vs entry @ t={}",
+                prev.geomean_mips, geomean_mips, delta_pct, prev.timestamp
+            );
+            if delta_pct < -args.threshold_pct {
+                eprintln!(
+                    "bench_report: REGRESSION: geomean MIPS dropped {:.1}% (> {:.1}% threshold)",
+                    -delta_pct, args.threshold_pct
+                );
+                if args.strict {
+                    return ExitCode::from(EXIT_REGRESSION);
+                }
+                println!("  (report-only mode; pass --strict to fail on regression)");
+            }
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+fn append(path: &std::path::Path, text: &str) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+    f.write_all(text.as_bytes())
+}

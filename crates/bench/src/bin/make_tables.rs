@@ -13,6 +13,9 @@
 //! - `--metrics <path>`: write a structured telemetry report (per-stage
 //!   span timings, counters, cell wall-time histogram, host MIPS) as JSON.
 //! - `--progress[=N]`: emulation heartbeat on stderr every N retirements.
+//! - `--events <path>`: drain the bounded structured event log (cell
+//!   retries, watchdog trips, fault injections, trace-cache anomalies) to
+//!   a JSONL file after the run.
 //!
 //! Fault tolerance (matrix experiments):
 //! - `--strict`: exit 3 if any matrix cell failed (default: degrade to a
@@ -550,6 +553,16 @@ fn main() {
                 std::process::exit(1);
             });
         eprintln!("telemetry report written to {path} ({})", report.summary());
+    }
+    if let Some(path) = parse_flag_value(&args, "--events") {
+        match tel.events().drain_to_file(std::path::Path::new(&path)) {
+            Ok(0) => eprintln!("structured events: none emitted"),
+            Ok(n) => eprintln!("structured events: {n} written to {path}"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
     }
     if strict && failed_cells > 0 {
         eprintln!("--strict: {failed_cells} matrix cell(s) failed");

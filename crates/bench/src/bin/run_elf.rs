@@ -18,6 +18,12 @@
 //!   replay through `make_tables --trace-dir`).
 //! - `--spans-out <path>`: write the run's span tree as flamegraph-ready
 //!   collapsed stacks (`stack;substack <self-us>` lines).
+//! - `--sample[=PERIOD_US]`: attach the hot-block sampling profiler
+//!   (default period 250 µs): a background thread attributes host wall
+//!   time to guest PCs, printed as a top-N hot-block table, embedded in
+//!   `--metrics`, and appended to `--spans-out` as `sampler;...` stacks.
+//! - `--events <path>`: drain the structured event log (watchdog trips,
+//!   fault injections, ...) to a JSON Lines file after the run.
 //! - `--progress[=N]`: heartbeat line on stderr every N retirements
 //!   (default 50M); also honoured via `ISACMP_PROGRESS=N`.
 //! - `--deadline-secs <s>`: wall-clock watchdog; a trip exits 124.
@@ -29,12 +35,20 @@
 //!
 //! Exits with the guest's exit code (124 on a watchdog trip).
 
+use isacmp::telemetry::sampler::Sampler;
 use isacmp::{
     AArch64Executor, Campaign, CampaignSpec, CpuState, DualCriticalPath, EmulationCore,
     FaultInjector, FaultPlan, IsaKind, Observer, PathLength, Program, ProfilingObserver,
     RiscVExecutor, RunReport, SimError, TraceMeta, TraceWriter, Tx2Latency, WindowedCp,
     DEFAULT_CAMPAIGN_WINDOW,
 };
+use isacmp::SampleSnapshot;
+use std::sync::Arc;
+
+/// Publish stride for `--sample`: one `(pc, instret)` publish every 2^8 =
+/// 256 retirements — ~70 µs apart at 3.7 MIPS, well under the sampling
+/// period, for a few atomic stores per thousand instructions.
+const SAMPLE_LOG2_STRIDE: u32 = 8;
 
 /// Exit code for a watchdog trip, matching the `timeout(1)` convention.
 const EXIT_TIMEOUT: i32 = 124;
@@ -44,6 +58,8 @@ struct Args {
     metrics: Option<String>,
     trace_out: Option<String>,
     spans_out: Option<String>,
+    sample: Option<std::time::Duration>,
+    events: Option<String>,
     progress: Option<u64>,
     deadline: Option<std::time::Duration>,
     inject: Option<FaultPlan>,
@@ -55,6 +71,8 @@ fn parse_args() -> Result<Args, String> {
     let mut metrics = None;
     let mut trace_out = None;
     let mut spans_out = None;
+    let mut sample = None;
+    let mut events = None;
     let mut progress = None;
     let mut deadline = None;
     let mut inject = None;
@@ -63,6 +81,13 @@ fn parse_args() -> Result<Args, String> {
     while let Some(a) = it.next() {
         if a == "--metrics" {
             metrics = Some(it.next().ok_or("--metrics needs a path")?);
+        } else if a == "--sample" {
+            sample = Some(Sampler::DEFAULT_PERIOD);
+        } else if let Some(us) = a.strip_prefix("--sample=") {
+            let us: u64 = us.parse().map_err(|_| format!("bad --sample period {us:?}"))?;
+            sample = Some(std::time::Duration::from_micros(us));
+        } else if a == "--events" {
+            events = Some(it.next().ok_or("--events needs a path")?);
         } else if a == "--trace-out" {
             trace_out = Some(it.next().ok_or("--trace-out needs a path")?);
         } else if a == "--spans-out" {
@@ -97,12 +122,14 @@ fn parse_args() -> Result<Args, String> {
     Ok(Args {
         elf: elf.ok_or(
             "usage: run_elf <binary.elf> [--metrics out.json] [--trace-out out.trace] \
-             [--spans-out out.folded] [--progress[=N]] [--deadline-secs s] \
-             [--inject fault] [--campaign seed:n]",
+             [--spans-out out.folded] [--sample[=PERIOD_US]] [--events out.jsonl] \
+             [--progress[=N]] [--deadline-secs s] [--inject fault] [--campaign seed:n]",
         )?,
         metrics,
         trace_out,
         spans_out,
+        sample,
+        events,
         progress,
         deadline,
         inject,
@@ -120,11 +147,13 @@ fn run(
     obs: &mut [&mut dyn Observer],
     deadline: Option<std::time::Duration>,
     injector: Option<Box<dyn FaultInjector>>,
+    sample: Option<Arc<SampleSnapshot>>,
 ) -> Result<(CpuState, isacmp::RunStats), RunFailure> {
     fn core_for<E: isacmp::IsaExecutor>(
         exec: E,
         deadline: Option<std::time::Duration>,
         injector: Option<Box<dyn FaultInjector>>,
+        sample: Option<Arc<SampleSnapshot>>,
     ) -> EmulationCore<E> {
         let mut core = EmulationCore::new(exec);
         if let Some(d) = deadline {
@@ -133,13 +162,20 @@ fn run(
         if let Some(inj) = injector {
             core = core.with_injector(inj);
         }
+        if let Some(s) = sample {
+            core = core.with_sampling(s, SAMPLE_LOG2_STRIDE);
+        }
         core
     }
     let mut st = CpuState::new();
     program.load(&mut st).map_err(RunFailure::Load)?;
     let result = match program.isa {
-        IsaKind::RiscV => core_for(RiscVExecutor::new(), deadline, injector).run(&mut st, obs),
-        IsaKind::AArch64 => core_for(AArch64Executor::new(), deadline, injector).run(&mut st, obs),
+        IsaKind::RiscV => {
+            core_for(RiscVExecutor::new(), deadline, injector, sample).run(&mut st, obs)
+        }
+        IsaKind::AArch64 => {
+            core_for(AArch64Executor::new(), deadline, injector, sample).run(&mut st, obs)
+        }
     };
     match result {
         Ok(stats) => Ok((st, stats)),
@@ -212,13 +248,21 @@ fn main() {
             isacmp::telemetry::global().counter_add("faults_fired", c.fired_count());
         }
     };
+    // Start the sampler before the guest so the whole run is covered; it
+    // stops (and its thread joins) immediately after, so the calibration
+    // runs below are never sampled.
+    let snapshot = args.sample.map(|_| Arc::new(SampleSnapshot::new()));
+    let sampler = match (&snapshot, args.sample) {
+        (Some(snap), Some(period)) => Some(Sampler::start(Arc::clone(snap), period)),
+        _ => None,
+    };
     let (st, stats) = {
         let _span = tel.enter("emulate");
         let mut obs: Vec<&mut dyn Observer> = vec![&mut pl, &mut cp, &mut wcp, &mut profile];
         if let Some(t) = tracer.as_mut() {
             obs.push(t);
         }
-        run(&program, &mut obs, args.deadline, injector).unwrap_or_else(|f| {
+        run(&program, &mut obs, args.deadline, injector, snapshot.clone()).unwrap_or_else(|f| {
             match f {
                 RunFailure::Load(e) => eprintln!("cannot load {path}: {e}"),
                 RunFailure::Guest { err, pc, instret } => {
@@ -234,6 +278,7 @@ fn main() {
             std::process::exit(1);
         })
     };
+    let hot_blocks = sampler.map(|s| s.stop().attribute(&program.regions));
     report_fired();
     tel.counter_add("instructions_retired", stats.retired);
 
@@ -256,6 +301,11 @@ fn main() {
     if !st.output.is_empty() {
         println!("  guest output : {:?}", st.output_string());
     }
+    if let Some(hb) = &hot_blocks {
+        for line in hb.table(10).lines() {
+            println!("  {line}");
+        }
+    }
 
     if let (Some(t), Some(p)) = (tracer.take(), &args.trace_out) {
         match t.finish(st.state_hash(), stats.wall) {
@@ -272,7 +322,11 @@ fn main() {
 
     let mut report = RunReport::new(&format!("run_elf {path}"))
         .with_run(stats.wall, stats.retired, Some(stats.exit_code as u64))
-        .with_profile(&profile);
+        .with_profile(&profile)
+        .with_phases(stats.phases);
+    if let Some(hb) = &hot_blocks {
+        report = report.with_sampler(hb);
+    }
 
     if args.metrics.is_some() {
         // Calibration: time a bare observer-free run to establish raw
@@ -281,7 +335,7 @@ fn main() {
         // deliberately watchdog- and fault-free.
         let _span = tel.enter("calibrate");
         let bare_run = |obs: &mut Vec<&mut dyn Observer>| {
-            run(&program, obs, None, None).ok().map(|(_, s)| s.wall)
+            run(&program, obs, None, None, None).ok().map(|(_, s)| s.wall)
         };
         let bare = bare_run(&mut vec![]);
         if let Some(bare_wall) = bare.filter(|w| !w.is_zero()) {
@@ -307,11 +361,28 @@ fn main() {
     }
     let report = report.finish_from(tel);
     if let Some(spans_path) = &args.spans_out {
-        std::fs::write(spans_path, report.to_collapsed()).unwrap_or_else(|e| {
+        // Host spans and sampled guest time share one collapsed file: the
+        // sampler frames live under their own `sampler;` root, so a
+        // flamegraph renders both side by side.
+        let mut collapsed = report.to_collapsed();
+        if let Some(hb) = &hot_blocks {
+            collapsed.push_str(&hb.to_collapsed());
+        }
+        std::fs::write(spans_path, collapsed).unwrap_or_else(|e| {
             eprintln!("cannot write {spans_path}: {e}");
             std::process::exit(1);
         });
         println!("  spans        : collapsed stacks written to {spans_path}");
+    }
+    if let Some(events_path) = &args.events {
+        match tel.events().drain_to_file(std::path::Path::new(events_path)) {
+            Ok(0) => println!("  events       : none emitted"),
+            Ok(n) => println!("  events       : {n} written to {events_path}"),
+            Err(e) => {
+                eprintln!("cannot write {events_path}: {e}");
+                std::process::exit(1);
+            }
+        }
     }
     if let Some(metrics_path) = &args.metrics {
         report.write_file(std::path::Path::new(metrics_path)).unwrap_or_else(|e| {

@@ -58,7 +58,12 @@ fn info(path: &str) {
             println!("  records    : {}", s.records);
             println!("  blocks     : {}", s.blocks);
             println!("  state hash : {:#018x}", s.trailer.state_hash);
-            println!("  capture    : {} us emulation wall", s.trailer.capture_wall_us);
+            let wall = std::time::Duration::from_micros(s.trailer.capture_wall_us);
+            println!(
+                "  capture    : {} us emulation wall ({:.2} MIPS)",
+                s.trailer.capture_wall_us,
+                isacmp::host_mips(s.records, wall)
+            );
         }
         Err(e) => println!("  body       : UNREADABLE ({e})"),
     }

@@ -54,9 +54,9 @@ pub use isa_aarch64::AArch64Executor;
 pub use isa_riscv::RiscVExecutor;
 pub use kernelgen::{compile, interpret, Compiled, KernelProgram, Personality};
 pub use simcore::{
-    Campaign, CampaignSpec, CpuState, EmulationCore, FaultInjector, FaultKind, FaultPlan,
-    InjectAction, InstGroup, IsaExecutor, IsaKind, Observer, Program, RegSet, RetiredInst,
-    RunStats,
+    host_mips, Campaign, CampaignSpec, CpuState, EmulationCore, FaultInjector, FaultKind,
+    FaultPlan, InjectAction, InstGroup, IsaExecutor, IsaKind, Observer, Phase, PhaseNanos,
+    Program, RegSet, RetiredInst, RunStats, Sample, SampleSnapshot,
     SimError, DEFAULT_CAMPAIGN_WINDOW,
 };
 pub use uarch::{
@@ -74,6 +74,13 @@ pub fn isa_label(isa: IsaKind) -> &'static str {
         IsaKind::AArch64 => "AArch64",
         IsaKind::RiscV => "RISC-V",
     }
+}
+
+/// Canonical `workload/ISA/compiler` cell label, matching the span names
+/// (`cell:<label>`), the per-cell telemetry gauges (`cell_mips:<label>`),
+/// and structured-event payloads.
+fn cell_label(workload: Workload, isa: IsaKind, personality: &Personality) -> String {
+    format!("{}/{}/{}", workload.name(), isa_label(isa), personality.label())
 }
 
 /// Execute a compiled program, streaming retirements through `observers`,
@@ -178,12 +185,22 @@ fn run_cell_attempt(
     if let Some(dir) = tracing {
         let path = tracecache::trace_path(dir, workload, personality, isa, size);
         if path.exists() {
+            let trace = telemetry::Json::Str(path.display().to_string());
             match tracecache::replay_cell(&path, workload, personality, isa, size) {
                 Ok(Some(cell)) => return Ok(cell),
                 // Stale provenance: fall through and recapture.
-                Ok(None) => tel.counter_add("trace_stale", 1),
+                Ok(None) => {
+                    tel.counter_add("trace_stale", 1);
+                    tel.event("trace_stale", &[("path", trace)]);
+                }
                 // Damaged trace: count it, fall back to a live run.
-                Err(_) => tel.counter_add("trace_replay_errors", 1),
+                Err(e) => {
+                    tel.counter_add("trace_replay_errors", 1);
+                    tel.event(
+                        "trace_replay_error",
+                        &[("path", trace), ("error", telemetry::Json::Str(e.to_string()))],
+                    );
+                }
             }
         }
     }
@@ -235,7 +252,18 @@ fn run_cell_attempt(
         let emu_start = std::time::Instant::now();
         let run = try_execute_with(&compiled, &mut obs, opts.deadline, injector);
         if let Some(c) = &armed {
-            tel.counter_add("faults_fired", c.fired_count());
+            let fired = c.fired_count();
+            tel.counter_add("faults_fired", fired);
+            if fired > 0 {
+                tel.event(
+                    "faults_fired",
+                    &[
+                        ("cell", telemetry::Json::Str(cell_label(workload, isa, personality))),
+                        ("fired", telemetry::Json::Num(fired as f64)),
+                        ("scheduled", telemetry::Json::Num(c.len() as f64)),
+                    ],
+                );
+            }
         }
         run.map(|(st, stats)| (st, stats, emu_start.elapsed())).and_then(|(st, stats, wall)| {
             // Cross-check the guest checksum against the reference
@@ -262,7 +290,28 @@ fn run_cell_attempt(
         })
     };
     match run_result {
-        Ok((st, _stats, wall)) => {
+        Ok((st, stats, wall)) => {
+            // rvr-style host-cost attribution for every verified live run:
+            // MIPS per cell as a gauge, ns-per-guest-op in a histogram, and
+            // (when the `phase-timers` feature is on) the retire-loop phase
+            // breakdown as counters. These live only in telemetry — the
+            // matrix JSON stays byte-identical between live and replayed
+            // runs.
+            tel.gauge_set(
+                &format!("cell_mips:{}", cell_label(workload, isa, personality)),
+                stats.host_mips(),
+            );
+            if stats.retired > 0 {
+                tel.histogram_record(
+                    "host_ns_per_op",
+                    stats.wall.as_nanos() as u64 / stats.retired,
+                );
+            }
+            for (name, ns) in stats.phases.entries() {
+                if ns > 0 {
+                    tel.counter_add(&format!("phase_{name}_ns"), ns);
+                }
+            }
             // The run is verified: commit the capture into the cache.
             if let Some((w, tmp_path, final_path)) = capture.take() {
                 let committed = w
@@ -325,15 +374,39 @@ pub fn run_cell_opts(
                 return Ok(cell);
             }
             Err(e) => {
+                let label = telemetry::Json::Str(cell_label(workload, isa, personality));
                 if matches!(e, CellError::Timeout { .. }) {
                     tel.counter_add("watchdog_trips", 1);
+                    tel.event(
+                        "watchdog_trip",
+                        &[
+                            ("cell", label.clone()),
+                            ("detail", telemetry::Json::Str(e.to_string())),
+                        ],
+                    );
                 }
                 if e.retryable() && attempt < max_retries {
                     attempt += 1;
                     tel.counter_add("cell_retries", 1);
+                    tel.event(
+                        "cell_retry",
+                        &[
+                            ("cell", label),
+                            ("attempt", telemetry::Json::Num(attempt as f64)),
+                            ("kind", telemetry::Json::Str(e.kind().to_string())),
+                        ],
+                    );
                     continue;
                 }
                 tel.counter_add("cells_failed", 1);
+                tel.event(
+                    "cell_failed",
+                    &[
+                        ("cell", label),
+                        ("kind", telemetry::Json::Str(e.kind().to_string())),
+                        ("detail", telemetry::Json::Str(e.to_string())),
+                    ],
+                );
                 return Err(e);
             }
         }

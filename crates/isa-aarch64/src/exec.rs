@@ -9,6 +9,7 @@
 
 use std::cell::RefCell;
 
+use simcore::phase::{self, Phase};
 use simcore::{CpuState, InstGroup, IsaExecutor, RegId, RetiredInst, SimError, WordMap};
 
 use crate::decode::decode;
@@ -267,18 +268,27 @@ impl IsaExecutor for AArch64Executor {
         if pc & 3 != 0 {
             return Err(SimError::MisalignedPc { pc });
         }
-        let inst = {
-            let mut cache = self.cache.borrow_mut();
-            match cache.get(&pc) {
-                Some(i) => *i,
-                None => {
-                    let word = state.mem.read_u32(pc)?;
-                    let i = decode(word).map_err(|e| SimError::Decode { pc, word, msg: e.msg })?;
-                    cache.insert(pc, i);
-                    i
-                }
+        // Phase scopes are kept disjoint so the breakdown never
+        // double-counts: the cache lookup and decode are Decode, the
+        // cache-miss word read is Fetch, execution is Execute.
+        let cached = {
+            let _t = phase::scoped(Phase::Decode);
+            self.cache.borrow_mut().get(&pc).copied()
+        };
+        let inst = match cached {
+            Some(i) => i,
+            None => {
+                let word = {
+                    let _t = phase::scoped(Phase::Fetch);
+                    state.mem.read_u32(pc)?
+                };
+                let _t = phase::scoped(Phase::Decode);
+                let i = decode(word).map_err(|e| SimError::Decode { pc, word, msg: e.msg })?;
+                self.cache.borrow_mut().insert(pc, i);
+                i
             }
         };
+        let _t = phase::scoped(Phase::Execute);
         execute(&inst, pc, state)
     }
 

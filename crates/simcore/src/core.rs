@@ -1,13 +1,28 @@
 //! The single-cycle emulation core.
 
 use std::cell::RefCell;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::error::SimError;
 use crate::fault::{FaultInjector, InjectAction};
 use crate::observer::Observer;
+use crate::phase::{self, Phase, PhaseNanos};
 use crate::retire::RetiredInst;
+use crate::sample::SampleSnapshot;
 use crate::state::CpuState;
+
+/// Host emulation rate in million instructions per second. The single
+/// definition used by [`RunStats::host_mips`], the telemetry reports, and
+/// every CLI table — keep derived speed numbers consistent by routing all
+/// of them through here.
+pub fn host_mips(retired: u64, wall: Duration) -> f64 {
+    if wall.is_zero() {
+        0.0
+    } else {
+        retired as f64 / wall.as_secs_f64() / 1e6
+    }
+}
 
 /// Implemented by each ISA back-end: fetch, decode and execute exactly one
 /// instruction, mutating `state` and describing what happened.
@@ -38,16 +53,15 @@ pub struct RunStats {
     pub exit_code: i64,
     /// Host wall-clock time spent inside the run loop.
     pub wall: Duration,
+    /// Retire-loop phase breakdown; all-zero unless the crate is built with
+    /// the `phase-timers` feature.
+    pub phases: PhaseNanos,
 }
 
 impl RunStats {
     /// Host emulation rate in million instructions per second.
     pub fn host_mips(&self) -> f64 {
-        if self.wall.is_zero() {
-            0.0
-        } else {
-            self.retired as f64 / self.wall.as_secs_f64() / 1e6
-        }
+        host_mips(self.retired, self.wall)
     }
 }
 
@@ -74,6 +88,14 @@ pub struct EmulationCore<E: IsaExecutor> {
     /// Fault-injection hook, consulted before every step when present.
     /// `RefCell` keeps [`EmulationCore::run`] callable on a shared core.
     injector: Option<RefCell<Box<dyn FaultInjector>>>,
+    /// Shared snapshot for the sampling profiler, written every
+    /// `sample_mask + 1` retirements when attached.
+    sample: Option<Arc<SampleSnapshot>>,
+    /// `stride - 1` for the sampling publish check (stride is a power of
+    /// two); `u64::MAX` when sampling is disabled, so — exactly like the
+    /// deadline check — the hot loop pays one AND and one never-taken
+    /// branch.
+    sample_mask: u64,
 }
 
 /// Default heartbeat interval when `ISACMP_PROGRESS` is set without a count.
@@ -107,6 +129,8 @@ impl<E: IsaExecutor> EmulationCore<E> {
             progress_every: progress_interval_from_env(),
             deadline: None,
             injector: None,
+            sample: None,
+            sample_mask: u64::MAX,
         }
     }
 
@@ -139,6 +163,16 @@ impl<E: IsaExecutor> EmulationCore<E> {
         self
     }
 
+    /// Attach a sampling-profiler snapshot: `(pc, instret)` is published
+    /// into `snapshot` every `2^log2_stride` retirements. `log2_stride` is
+    /// clamped to `[6, 30]` — below 64 the publish itself would distort the
+    /// measurement, above 2^30 a short run would never publish.
+    pub fn with_sampling(mut self, snapshot: Arc<SampleSnapshot>, log2_stride: u32) -> Self {
+        self.sample = Some(snapshot);
+        self.sample_mask = (1u64 << log2_stride.clamp(6, 30)) - 1;
+        self
+    }
+
     /// Access the underlying executor (e.g. for disassembly).
     pub fn executor(&self) -> &E {
         &self.exec
@@ -157,6 +191,9 @@ impl<E: IsaExecutor> EmulationCore<E> {
         let start = Instant::now();
         let mut retired: u64 = 0;
         let mut next_beat = self.progress_every;
+        // Reset this thread's phase accumulator so a prior (possibly failed)
+        // run on the same worker thread cannot leak into our breakdown.
+        let _ = phase::take();
         while state.exited.is_none() {
             if retired >= self.max_insts {
                 state.instret = retired;
@@ -173,6 +210,11 @@ impl<E: IsaExecutor> EmulationCore<E> {
                             retired,
                         });
                     }
+                }
+            }
+            if retired & self.sample_mask == 0 {
+                if let Some(snap) = &self.sample {
+                    snap.publish(state.pc, retired);
                 }
             }
             if let Some(inj) = &self.injector {
@@ -193,12 +235,14 @@ impl<E: IsaExecutor> EmulationCore<E> {
                 }
             };
             retired += 1;
-            for obs in observers.iter_mut() {
-                obs.on_retire(&ri);
+            if !observers.is_empty() {
+                let _t = phase::scoped(Phase::Observe);
+                for obs in observers.iter_mut() {
+                    obs.on_retire(&ri);
+                }
             }
             if retired == next_beat {
-                let secs = start.elapsed().as_secs_f64();
-                let mips = if secs > 0.0 { retired as f64 / secs / 1e6 } else { 0.0 };
+                let mips = host_mips(retired, start.elapsed());
                 eprintln!(
                     "[{}] {retired} retired, {mips:.1} MIPS, pc={:#x}",
                     self.exec.name(),
@@ -215,6 +259,7 @@ impl<E: IsaExecutor> EmulationCore<E> {
             retired,
             exit_code: state.exited.unwrap_or(0),
             wall: start.elapsed(),
+            phases: phase::take(),
         })
     }
 }
@@ -319,6 +364,52 @@ mod tests {
         assert_eq!(stats.exit_code, 0x2a, "corrupted word drives the exit");
         assert_eq!(stats.retired, 4);
         assert_eq!(core.executor().flushes.get(), 1, "decode cache flushed once");
+    }
+
+    #[test]
+    fn sampling_publishes_on_the_configured_stride() {
+        let mut st = spinning_state();
+        let snap = std::sync::Arc::new(crate::sample::SampleSnapshot::new());
+        // Budget of 4096 retirements at stride 2^6 = 64 publishes (one per
+        // stride boundary, starting at retirement 0).
+        let core = EmulationCore::new(SpinExec::new())
+            .with_budget(4096)
+            .with_sampling(std::sync::Arc::clone(&snap), 6);
+        let err = core.run(&mut st, &mut []).unwrap_err();
+        assert!(matches!(err, SimError::InstructionBudgetExceeded { .. }));
+        assert_eq!(snap.publishes(), 4096 / 64);
+        let last = snap.read().expect("samples were published");
+        assert_eq!(last.instret % 64, 0);
+        assert!(last.pc >= 0x1000, "published pc must be a guest pc: {:#x}", last.pc);
+    }
+
+    #[test]
+    fn no_sampling_means_zero_publishes() {
+        let mut st = spinning_state();
+        let snap = crate::sample::SampleSnapshot::new();
+        let core = EmulationCore::new(SpinExec::new()).with_budget(4096);
+        let _ = core.run(&mut st, &mut []);
+        // The disabled path never touches a snapshot: the hot loop's mask is
+        // the u64::MAX sentinel and no snapshot is attached.
+        assert_eq!(snap.publishes(), 0);
+        assert_eq!(snap.read(), None);
+    }
+
+    #[test]
+    fn phase_breakdown_is_zero_without_the_feature() {
+        let mut st = CpuState::new();
+        st.pc = 0x1000;
+        st.mem.write_u32(0x1000, 7).unwrap();
+        let core = EmulationCore::new(SpinExec::new());
+        let mut count = crate::observer::CountingObserver::default();
+        let mut obs: [&mut dyn Observer; 1] = [&mut count];
+        let stats = core.run(&mut st, &mut obs).unwrap();
+        if crate::phase::enabled() {
+            // With timers on, observer dispatch was inside an Observe scope.
+            assert!(stats.phases.observe_ns > 0 || stats.retired == 0);
+        } else {
+            assert_eq!(stats.phases, crate::phase::PhaseNanos::default());
+        }
     }
 
     #[test]

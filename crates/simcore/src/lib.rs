@@ -46,13 +46,17 @@ pub mod fault;
 pub mod hash;
 pub mod mem;
 pub mod observer;
+pub mod phase;
 pub mod program;
 pub mod regid;
 pub mod retire;
+pub mod sample;
 pub mod source;
 pub mod state;
 
-pub use crate::core::{EmulationCore, IsaExecutor, RunStats};
+pub use crate::core::{host_mips, EmulationCore, IsaExecutor, RunStats};
+pub use crate::phase::{Phase, PhaseNanos};
+pub use crate::sample::{Sample, SampleSnapshot};
 pub use crate::error::SimError;
 pub use crate::fault::{
     Campaign, CampaignSpec, FaultInjector, FaultKind, FaultPlan, InjectAction,

@@ -82,6 +82,13 @@ impl Json {
         }
     }
 
+    /// Render on a single line with no trailing newline — the JSON Lines
+    /// building block. Same output as `to_string`; the name documents
+    /// intent at call sites.
+    pub fn compact(&self) -> String {
+        self.to_string()
+    }
+
     /// Render with two-space indentation and a trailing newline.
     pub fn pretty(&self) -> String {
         let mut out = String::new();
@@ -375,6 +382,67 @@ mod tests {
         assert!(Json::parse("[1,]").is_err());
         assert!(Json::parse("12 34").is_err());
         assert!(Json::parse("").is_err());
+    }
+
+    #[test]
+    fn compact_is_single_line() {
+        let v = Json::obj(vec![("a", Json::Arr(vec![Json::Num(1.0), Json::Null]))]);
+        let c = v.compact();
+        assert_eq!(c, v.to_string());
+        assert!(!c.contains('\n'), "{c}");
+        assert_eq!(Json::parse(&c).unwrap(), v);
+    }
+
+    #[test]
+    fn non_finite_floats_render_as_null() {
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(Json::Num(v).to_string(), "null");
+        }
+        // Inside structures too, and the result stays parseable.
+        let v = Json::obj(vec![("bad", Json::Num(f64::NAN)), ("ok", Json::Num(1.5))]);
+        let text = v.pretty();
+        let parsed = Json::parse(&text).unwrap();
+        assert_eq!(parsed.get("bad"), Some(&Json::Null));
+        assert_eq!(parsed.get("ok").unwrap().as_f64(), Some(1.5));
+    }
+
+    #[test]
+    fn every_control_character_escapes_and_round_trips() {
+        let s: String = (0u32..0x20).map(|c| char::from_u32(c).unwrap()).collect();
+        let v = Json::Str(s.clone());
+        let text = v.to_string();
+        // No raw control bytes may survive in the rendering.
+        assert!(text.bytes().all(|b| b >= 0x20), "raw control byte in {text:?}");
+        assert_eq!(Json::parse(&text).unwrap().as_str(), Some(s.as_str()));
+    }
+
+    #[test]
+    fn unicode_strings_round_trip() {
+        let v = Json::Str("héllo → 世界 🚀".into());
+        assert_eq!(Json::parse(&v.to_string()).unwrap(), v);
+        // \u escapes parse, including the replacement of lone surrogates.
+        assert_eq!(Json::parse(r#""é""#).unwrap().as_str(), Some("é"));
+        assert_eq!(Json::parse(r#""\ud800""#).unwrap().as_str(), Some("\u{fffd}"));
+        assert!(Json::parse(r#""\uzzzz""#).is_err());
+    }
+
+    #[test]
+    fn deep_nesting_round_trips() {
+        // 128 levels of alternating arrays and objects.
+        let mut v = Json::Num(7.0);
+        for i in 0..128 {
+            v = if i % 2 == 0 {
+                Json::Arr(vec![v])
+            } else {
+                Json::obj(vec![("d", v)])
+            };
+        }
+        for text in [v.to_string(), v.pretty()] {
+            assert_eq!(Json::parse(&text).unwrap(), v);
+        }
+        // Unbalanced deep input errors instead of succeeding bogusly.
+        let open = "[".repeat(128);
+        assert!(Json::parse(&open).is_err());
     }
 
     #[test]

@@ -16,17 +16,25 @@
 
 #![warn(missing_docs)]
 
+pub mod events;
 pub mod json;
 pub mod metrics;
 pub mod profile;
 pub mod report;
+pub mod sampler;
 pub mod span;
 
+pub use events::{Event, EventLog};
 pub use json::Json;
 pub use metrics::{bucket_index, bucket_low, Histogram, MetricsRegistry};
 pub use profile::{group_index, ProfilingObserver};
 pub use report::RunReport;
+pub use sampler::{HotBlockProfile, Sampler};
 pub use span::{SpanGuard, SpanRecord, Timeline};
+
+/// The one `host_mips` definition, re-exported so CLI code can reach it
+/// through either crate without duplicating the formula.
+pub use simcore::host_mips;
 
 use std::sync::{Mutex, OnceLock};
 
@@ -35,6 +43,7 @@ use std::sync::{Mutex, OnceLock};
 pub struct Telemetry {
     timeline: Timeline,
     metrics: Mutex<MetricsRegistry>,
+    events: EventLog,
 }
 
 impl Default for Telemetry {
@@ -44,9 +53,13 @@ impl Default for Telemetry {
 }
 
 impl Telemetry {
-    /// Fresh hub with an empty timeline and registry.
+    /// Fresh hub with an empty timeline, registry, and event log.
     pub fn new() -> Self {
-        Telemetry { timeline: Timeline::new(), metrics: Mutex::new(MetricsRegistry::new()) }
+        Telemetry {
+            timeline: Timeline::new(),
+            metrics: Mutex::new(MetricsRegistry::new()),
+            events: EventLog::new(),
+        }
     }
 
     /// The span timeline.
@@ -82,6 +95,16 @@ impl Telemetry {
     /// Record a sample into the named histogram.
     pub fn histogram_record(&self, name: &str, v: u64) {
         self.metrics.lock().unwrap().histogram_record(name, v);
+    }
+
+    /// The structured event log (bounded ring; see [`events`]).
+    pub fn events(&self) -> &EventLog {
+        &self.events
+    }
+
+    /// Emit a structured event (shorthand for `events().emit(...)`).
+    pub fn event(&self, kind: &str, fields: &[(&str, Json)]) {
+        self.events.emit(kind, fields);
     }
 
     /// Snapshot of the registry.

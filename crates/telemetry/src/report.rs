@@ -4,8 +4,11 @@ use std::io::Write;
 use std::path::Path;
 use std::time::Duration;
 
+use simcore::PhaseNanos;
+
 use crate::json::Json;
 use crate::profile::ProfilingObserver;
+use crate::sampler::HotBlockProfile;
 use crate::Telemetry;
 
 /// Everything one tool invocation wants to persist about itself: what ran,
@@ -35,6 +38,14 @@ pub struct RunReport {
     pub metrics: Json,
     /// Guest profile from a [`ProfilingObserver`], if one was attached.
     pub profile: Option<Json>,
+    /// Hot-block sampling profile (see [`crate::sampler`]), if one ran.
+    pub sampler: Option<Json>,
+    /// Retire-loop phase breakdown, when the run was built with the
+    /// `phase-timers` feature and attributed any time.
+    pub phases: Option<PhaseNanos>,
+    /// Structured events drained from the hub's [`crate::EventLog`]
+    /// (empty array when the run emitted none).
+    pub events: Json,
     /// Free-form annotations.
     pub notes: Vec<String>,
 }
@@ -46,20 +57,18 @@ impl RunReport {
             command: command.to_string(),
             spans: Json::Arr(Vec::new()),
             metrics: Json::obj(vec![]),
+            events: Json::Arr(Vec::new()),
             ..Default::default()
         }
     }
 
-    /// Record the headline run numbers; MIPS is derived from `retired`/`wall`.
+    /// Record the headline run numbers; MIPS is derived from `retired`/`wall`
+    /// via the shared [`simcore::host_mips`].
     pub fn with_run(mut self, wall: Duration, retired: u64, exit_code: Option<u64>) -> Self {
         self.wall_ms = wall.as_secs_f64() * 1e3;
         self.retired = retired;
         self.exit_code = exit_code;
-        self.host_mips = if wall.is_zero() {
-            0.0
-        } else {
-            retired as f64 / wall.as_secs_f64() / 1e6
-        };
+        self.host_mips = simcore::host_mips(retired, wall);
         self
     }
 
@@ -69,11 +78,27 @@ impl RunReport {
         self
     }
 
-    /// Pull the span tree and metrics snapshot out of `telemetry`
-    /// (typically [`crate::global()`]).
+    /// Attach a hot-block sampling profile (top 10 blocks).
+    pub fn with_sampler(mut self, sampler: &HotBlockProfile) -> Self {
+        self.sampler = Some(sampler.to_json(10));
+        self
+    }
+
+    /// Attach a retire-loop phase breakdown; an all-zero breakdown (timers
+    /// compiled out) is dropped rather than serialized as noise.
+    pub fn with_phases(mut self, phases: PhaseNanos) -> Self {
+        self.phases = (phases.total_ns() > 0).then_some(phases);
+        self
+    }
+
+    /// Pull the span tree, metrics snapshot, and pending events out of
+    /// `telemetry` (typically [`crate::global()`]). Events are snapshotted,
+    /// not drained, so a later `--events` file still sees them.
     pub fn finish_from(mut self, telemetry: &Telemetry) -> Self {
         self.spans = telemetry.timeline().to_json();
         self.metrics = telemetry.metrics_json();
+        self.events =
+            Json::Arr(telemetry.events().snapshot().iter().map(|e| e.to_json()).collect());
         self
     }
 
@@ -117,10 +142,27 @@ impl RunReport {
                 ),
             ));
         }
+        if let Some(ph) = &self.phases {
+            members.push((
+                "phase_ns",
+                Json::Obj(
+                    ph.entries()
+                        .iter()
+                        .map(|(name, ns)| (name.to_string(), Json::Num(*ns as f64)))
+                        .collect(),
+                ),
+            ));
+        }
         members.push(("spans", self.spans.clone()));
         members.push(("metrics", self.metrics.clone()));
         if let Some(p) = &self.profile {
             members.push(("profile", p.clone()));
+        }
+        if let Some(s) = &self.sampler {
+            members.push(("sampler", s.clone()));
+        }
+        if self.events.as_arr().is_some_and(|a| !a.is_empty()) {
+            members.push(("events", self.events.clone()));
         }
         members.push((
             "notes",
@@ -155,6 +197,17 @@ impl RunReport {
             spans: j.get("spans").cloned().unwrap_or(Json::Arr(Vec::new())),
             metrics: j.get("metrics").cloned().unwrap_or(Json::obj(vec![])),
             profile: j.get("profile").cloned(),
+            sampler: j.get("sampler").cloned(),
+            phases: j.get("phase_ns").map(|ph| {
+                let ns = |k: &str| ph.get(k).and_then(Json::as_u64).unwrap_or(0);
+                PhaseNanos {
+                    fetch_ns: ns("fetch"),
+                    decode_ns: ns("decode"),
+                    execute_ns: ns("execute"),
+                    observe_ns: ns("observe"),
+                }
+            }),
+            events: j.get("events").cloned().unwrap_or(Json::Arr(Vec::new())),
             notes: j
                 .get("notes")
                 .and_then(Json::as_arr)
@@ -163,16 +216,30 @@ impl RunReport {
         })
     }
 
-    /// One-line human summary: wall time, retired count, MIPS.
+    /// Host nanoseconds per retired guest instruction (rvr's headline
+    /// cost column); 0 when nothing retired.
+    pub fn host_ns_per_op(&self) -> f64 {
+        if self.retired == 0 {
+            0.0
+        } else {
+            self.wall_ms * 1e6 / self.retired as f64
+        }
+    }
+
+    /// One-line human summary: wall time, retired count, MIPS, ns/op.
     pub fn summary(&self) -> String {
         let mut s = format!(
-            "wall {:.1} ms | retired {} | {:.1} MIPS",
+            "wall {:.1} ms | retired {} | {:.1} MIPS | {:.0} ns/op",
             self.wall_ms,
             crate::fmt_u64(self.retired),
-            self.host_mips
+            self.host_mips,
+            self.host_ns_per_op(),
         );
         if let Some(c) = self.exit_code {
             s.push_str(&format!(" | exit {c}"));
+        }
+        if let Some(ph) = &self.phases {
+            s.push_str(&format!(" | phases: {}", ph.summary()));
         }
         if let Some(pct) = self.observer_overhead_pct {
             s.push_str(&format!(" | observer overhead ~{pct:.0}%"));
@@ -267,6 +334,45 @@ mod tests {
         // Collapsed export works on the *parsed* report too.
         let collapsed = parsed.to_collapsed();
         assert!(collapsed.contains("emulate;verify "), "{collapsed}");
+    }
+
+    #[test]
+    fn phases_sampler_and_events_round_trip() {
+        let tel = Telemetry::new();
+        tel.event("watchdog_trip", &[("limit_ms", Json::Num(2000.0))]);
+        let mut blocks = std::collections::HashMap::new();
+        blocks.insert(0x1000u64, 4u64);
+        let hb = crate::sampler::SampleProfile::from_parts(
+            Duration::from_micros(250),
+            blocks,
+            0,
+        )
+        .attribute(&[]);
+        let report = RunReport::new("run_elf x.elf")
+            .with_run(Duration::from_millis(10), 20_000, Some(0))
+            .with_sampler(&hb)
+            .with_phases(PhaseNanos { fetch_ns: 1, decode_ns: 2, execute_ns: 3, observe_ns: 4 })
+            .finish_from(&tel);
+        assert!((report.host_ns_per_op() - 500.0).abs() < 1e-9);
+        let text = report.to_json().pretty();
+        let parsed = RunReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(
+            parsed.phases,
+            Some(PhaseNanos { fetch_ns: 1, decode_ns: 2, execute_ns: 3, observe_ns: 4 })
+        );
+        assert_eq!(
+            parsed.sampler.as_ref().unwrap().get("total_samples").unwrap().as_u64(),
+            Some(4)
+        );
+        let events = parsed.events.as_arr().unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].get("kind").unwrap().as_str(), Some("watchdog_trip"));
+        assert!(parsed.summary().contains("ns/op"), "{}", parsed.summary());
+        assert!(parsed.summary().contains("phases:"), "{}", parsed.summary());
+        // Zero phase breakdown is dropped, not serialized.
+        let plain = RunReport::new("x").with_phases(PhaseNanos::default());
+        assert!(plain.phases.is_none());
+        assert!(!plain.to_json().pretty().contains("phase_ns"));
     }
 
     #[test]
