@@ -371,7 +371,9 @@ impl ResultMatrix {
 }
 
 impl CellFailure {
-    fn to_json_value(&self) -> Json {
+    /// Serialize one failure record (the shape embedded in
+    /// [`ResultMatrix::to_json`] and in journal records).
+    pub fn to_json_value(&self) -> Json {
         Json::obj(vec![
             ("workload", Json::Str(self.workload.clone())),
             ("compiler", Json::Str(self.compiler.clone())),
@@ -382,7 +384,8 @@ impl CellFailure {
         ])
     }
 
-    fn from_json_value(j: &Json) -> Result<Self, String> {
+    /// Parse one failure record back from its JSON shape.
+    pub fn from_json_value(j: &Json) -> Result<Self, String> {
         let text = |key: &str| -> Result<String, String> {
             j.get(key)
                 .and_then(Json::as_str)
@@ -401,7 +404,9 @@ impl CellFailure {
 }
 
 impl ExperimentCell {
-    fn to_json_value(&self) -> Json {
+    /// Serialize one measured cell (the shape embedded in
+    /// [`ResultMatrix::to_json`] and in journal records).
+    pub fn to_json_value(&self) -> Json {
         Json::obj(vec![
             ("workload", Json::Str(self.workload.clone())),
             ("compiler", Json::Str(self.compiler.clone())),
@@ -438,7 +443,8 @@ impl ExperimentCell {
         ])
     }
 
-    fn from_json_value(j: &Json) -> Result<Self, String> {
+    /// Parse one measured cell back from its JSON shape.
+    pub fn from_json_value(j: &Json) -> Result<Self, String> {
         let text = |key: &str| -> Result<String, String> {
             j.get(key)
                 .and_then(Json::as_str)

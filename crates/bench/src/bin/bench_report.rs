@@ -172,7 +172,9 @@ fn measure_cell(
             });
         }
     }
-    Ok(best.expect("runs >= 1"))
+    // `runs` is validated positive at parse time, so this is unreachable —
+    // but a typed error beats a panic if that invariant ever slips.
+    best.ok_or_else(|| format!("{}/{}: no runs completed", workload.name(), isa_label(isa)))
 }
 
 fn geomean(values: impl Iterator<Item = f64>) -> f64 {
@@ -293,14 +295,19 @@ fn main() -> ExitCode {
         ("cells", Json::Arr(cells.iter().map(CellResult::to_json).collect())),
     ]);
 
-    // Append to history, then regenerate the baseline from this entry.
+    // Append to history (fsynced, so the record survives a crash), then
+    // atomically regenerate the baseline from this entry.
     let mut history_text = entry.compact();
     history_text.push('\n');
-    if let Err(e) = append(&args.history, &history_text) {
+    let appended = isacmp::durable::DurableLog::open(&args.history)
+        .and_then(|mut log| log.append(history_text.as_bytes()));
+    if let Err(e) = appended {
         eprintln!("bench_report: cannot write {}: {e}", args.history.display());
         return ExitCode::FAILURE;
     }
-    if let Err(e) = std::fs::write(&args.baseline, format!("{}\n", entry.pretty()).as_bytes()) {
+    if let Err(e) =
+        isacmp::durable::durable_write(&args.baseline, format!("{}\n", entry.pretty()).as_bytes())
+    {
         eprintln!("bench_report: cannot write {}: {e}", args.baseline.display());
         return ExitCode::FAILURE;
     }
@@ -344,10 +351,4 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
     }
-}
-
-fn append(path: &std::path::Path, text: &str) -> std::io::Result<()> {
-    use std::io::Write as _;
-    let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
-    f.write_all(text.as_bytes())
 }

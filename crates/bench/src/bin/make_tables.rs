@@ -29,9 +29,23 @@
 //! - `--campaign <seed>:<n-faults>`: seeded multi-fault campaign injected
 //!   into every cell; the sampled schedule is written to
 //!   `results/campaign.json` for exact replay.
-//! - `--resume <matrix.json>`: reload a prior (partial) matrix and re-run
-//!   only its recorded failures; healthy cells are kept as-is. Mutually
+//! - `--resume <matrix.json>`: recover a prior run. If a cell journal
+//!   (`results/matrix.journal.jsonl`) exists — i.e. the prior run was
+//!   killed mid-matrix — every journaled outcome (cells *and* failures)
+//!   is kept and only the unrecorded combinations run, re-arming any
+//!   campaign from the journal's manifest; the finished matrix is
+//!   byte-identical to an uninterrupted run. Otherwise the named matrix
+//!   JSON is healed: cells kept, recorded failures re-run. Mutually
 //!   exclusive with `--campaign`.
+//!
+//! Crash safety: matrix runs append each completed cell to
+//! `results/matrix.journal.jsonl` (fsync per record) as they finish, so a
+//! SIGKILL loses at most the cells in flight. SIGINT/SIGTERM drain the
+//! worker pool gracefully, flush a partial `results/matrix.json`, keep the
+//! journal, and exit 130. With `--deadline-secs`, a watchdog-tripped cell
+//! leaves a resumable machine snapshot under `results/snapshots/` (see
+//! `run_elf --restore`). All result files are written atomically and
+//! durably (tmp + fsync + rename).
 //!
 //! Trace capture/replay (matrix experiments):
 //! - `--trace-dir <dir>`: capture each cell's retired-instruction stream to
@@ -43,12 +57,19 @@
 //!   `trace_replay_speedup` gauge.
 
 use std::fs;
+use std::path::Path;
+use std::sync::Mutex;
 
 use isacmp::{
-    compile, resume_matrix, run_cell, run_matrix_opts, run_pipeline, run_pipeline_full,
-    CacheConfig, CampaignManifest, CampaignSpec, ExperimentCell, InjectSpec, IsaKind,
-    MatrixOptions, Personality, PipelineConfig, ResultMatrix, SizeClass, Workload,
+    compile, continue_matrix, durable, read_journal, resume_matrix_journaled, run_cell,
+    run_matrix_journaled, run_matrix_opts, run_pipeline, run_pipeline_full, shutdown,
+    CacheConfig, CampaignManifest, CampaignSpec, CellJournal, ExperimentCell, InjectSpec,
+    IsaKind, JournalContents, MatrixOptions, Personality, PipelineConfig, ResultMatrix,
+    SizeClass, Workload,
 };
+
+/// Where matrix runs journal completed cells for crash recovery.
+const JOURNAL_PATH: &str = "results/matrix.journal.jsonl";
 
 fn parse_flag_value(args: &[String], flag: &str) -> Option<String> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
@@ -69,8 +90,10 @@ fn parse_size(args: &[String]) -> SizeClass {
     }
 }
 
-/// Build the matrix fault-tolerance options from the CLI.
-fn parse_matrix_opts(args: &[String]) -> MatrixOptions {
+/// Build the matrix fault-tolerance options from the CLI. Also returns
+/// the sampled campaign manifest (when `--campaign` is armed) so matrix
+/// runs can pin it into the cell journal's `begin` record.
+fn parse_matrix_opts(args: &[String]) -> (MatrixOptions, Option<CampaignManifest>) {
     let deadline = parse_flag_value(args, "--deadline-secs").map(|s| {
         let secs: f64 = s.parse().unwrap_or_else(|_| {
             eprintln!("bad --deadline-secs value {s:?}: expected seconds");
@@ -93,6 +116,7 @@ fn parse_matrix_opts(args: &[String]) -> MatrixOptions {
             std::process::exit(2);
         })
     });
+    let mut campaign_manifest = None;
     let campaign = parse_flag_value(args, "--campaign").map(|s| {
         let spec = CampaignSpec::parse(&s).unwrap_or_else(|e| {
             eprintln!("{e}");
@@ -108,10 +132,12 @@ fn parse_matrix_opts(args: &[String]) -> MatrixOptions {
             manifest.seed,
             manifest.specs.len()
         );
-        manifest.campaign().unwrap_or_else(|e| {
+        let armed = manifest.campaign().unwrap_or_else(|e| {
             eprintln!("{e}");
             std::process::exit(2);
-        })
+        });
+        campaign_manifest = Some(manifest);
+        armed
     });
     let trace_dir = parse_flag_value(args, "--trace-dir").map(|d| {
         let dir = std::path::PathBuf::from(d);
@@ -121,12 +147,27 @@ fn parse_matrix_opts(args: &[String]) -> MatrixOptions {
         });
         dir
     });
-    MatrixOptions { deadline, retries, inject, campaign, trace_dir }
+    // Watchdog-tripped cells leave a resumable snapshot behind whenever a
+    // deadline is armed.
+    let checkpoint_dir =
+        deadline.map(|_| std::path::PathBuf::from("results/snapshots"));
+    let opts = MatrixOptions {
+        deadline,
+        retries,
+        inject,
+        campaign,
+        trace_dir,
+        heed_shutdown: true,
+        checkpoint_dir,
+    };
+    (opts, campaign_manifest)
 }
 
-/// `fs::write` with an actionable diagnostic instead of a panic.
+/// Atomic, durable write (tmp + fsync + rename) with an actionable
+/// diagnostic instead of a panic: result files are never seen torn, even
+/// across SIGKILL or power loss.
 fn write_out(path: &str, contents: impl AsRef<[u8]>) {
-    fs::write(path, contents).unwrap_or_else(|e| {
+    durable::durable_write(Path::new(path), contents.as_ref()).unwrap_or_else(|e| {
         eprintln!("cannot write {path}: {e}");
         std::process::exit(1);
     });
@@ -141,19 +182,68 @@ fn cell_or_die(w: Workload, isa: IsaKind, p: &Personality, size: SizeClass) -> E
     })
 }
 
-fn matrix(size: SizeClass, opts: &MatrixOptions, resume_from: Option<&ResultMatrix>) -> ResultMatrix {
+/// How a `--resume` run recovers prior work: a crash journal (strict
+/// continuation) or a finished-but-partial matrix JSON (healing).
+enum ResumeSource {
+    Journal(JournalContents),
+    Matrix(ResultMatrix),
+}
+
+/// Open the cell journal for a matrix run, degrading to journal-less
+/// operation (with a warning) if the path is unwritable.
+fn open_journal(open: impl FnOnce() -> std::io::Result<CellJournal>) -> Option<Mutex<CellJournal>> {
+    match open() {
+        Ok(j) => Some(Mutex::new(j)),
+        Err(e) => {
+            eprintln!("warning: cannot open {JOURNAL_PATH}: {e} (running without crash journal)");
+            None
+        }
+    }
+}
+
+fn matrix(
+    size: SizeClass,
+    opts: &MatrixOptions,
+    manifest: Option<&CampaignManifest>,
+    resume_from: Option<&ResumeSource>,
+) -> ResultMatrix {
+    fs::create_dir_all("results").ok();
+    let total = 4 * Workload::ALL.len();
     let m = match resume_from {
-        Some(prior) => {
+        Some(ResumeSource::Journal(j)) => {
+            let done = j.matrix.cells.len() + j.matrix.failures.len();
+            eprintln!(
+                "resuming from journal: {done} recorded outcome(s) kept ({} cells, {} failures{}), {} cell(s) to run ...",
+                j.matrix.cells.len(),
+                j.matrix.failures.len(),
+                if j.torn_tail { ", torn tail discarded" } else { "" },
+                total.saturating_sub(done),
+            );
+            let journal = open_journal(|| CellJournal::append_to(Path::new(JOURNAL_PATH)));
+            continue_matrix(&Workload::ALL, size, opts, &j.matrix, journal.as_ref())
+        }
+        Some(ResumeSource::Matrix(prior)) => {
             eprintln!(
                 "resuming matrix: {} healthy cell(s) kept, {} failure(s) re-run ...",
                 prior.cells.len(),
                 prior.failures.len()
             );
-            resume_matrix(prior, size, opts)
+            // Seed a fresh journal with the kept cells so a crash mid-heal
+            // is itself journal-resumable.
+            let journal = open_journal(|| {
+                let mut j = CellJournal::create(Path::new(JOURNAL_PATH), size.name(), None)?;
+                for c in &prior.cells {
+                    j.record_cell(c)?;
+                }
+                Ok(j)
+            });
+            resume_matrix_journaled(prior, size, opts, journal.as_ref())
         }
         None => {
             eprintln!("running the experiment matrix (5 workloads x 2 compilers x 2 ISAs) ...");
-            run_matrix_opts(&Workload::ALL, size, opts)
+            let journal =
+                open_journal(|| CellJournal::create(Path::new(JOURNAL_PATH), size.name(), manifest));
+            run_matrix_journaled(&Workload::ALL, size, opts, journal.as_ref())
         }
     };
     if !m.is_complete() {
@@ -164,8 +254,18 @@ fn matrix(size: SizeClass, opts: &MatrixOptions, resume_from: Option<&ResultMatr
             m.failure_summary()
         );
     }
-    fs::create_dir_all("results").ok();
     write_out("results/matrix.json", m.to_json());
+    if shutdown::requested() {
+        eprintln!(
+            "interrupted: partial matrix ({} of {total} cells) flushed to results/matrix.json; \
+             journal kept at {JOURNAL_PATH} — finish with `--resume results/matrix.json`",
+            m.cells.len() + m.failures.len(),
+        );
+    } else {
+        // The durable matrix.json now carries everything; the journal has
+        // served its purpose.
+        let _ = fs::remove_file(JOURNAL_PATH);
+    }
     m
 }
 
@@ -406,6 +506,10 @@ fn check(size: SizeClass, opts: &MatrixOptions) -> String {
 }
 
 fn main() {
+    // Graceful interruption: SIGINT/SIGTERM raise a flag the retire loop
+    // and worker pool poll, so an interrupted run flushes partial results
+    // and keeps its journal instead of dying mid-write.
+    shutdown::install();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let what = args.first().map(|s| s.as_str()).unwrap_or("all");
     let size = parse_size(&args);
@@ -416,18 +520,57 @@ fn main() {
         eprintln!("--campaign and --resume are mutually exclusive");
         std::process::exit(2);
     }
-    let matrix_opts = parse_matrix_opts(&args);
+    let (mut matrix_opts, campaign_manifest) = parse_matrix_opts(&args);
     let strict = args.iter().any(|a| a == "--strict");
-    let resume_prior = parse_flag_value(&args, "--resume").map(|p| {
+    let resume_src = parse_flag_value(&args, "--resume").map(|p| {
+        // A surviving journal means the prior run was killed mid-matrix;
+        // it supersedes the (older or partial) matrix JSON.
+        if Path::new(JOURNAL_PATH).exists() {
+            match read_journal(Path::new(JOURNAL_PATH)) {
+                Ok(j) => {
+                    if j.size != size.name() {
+                        eprintln!(
+                            "journal at {JOURNAL_PATH} was recorded at --size {}, this run asks --size {}; \
+                             re-run with the matching size or delete the journal",
+                            j.size,
+                            size.name()
+                        );
+                        std::process::exit(2);
+                    }
+                    return ResumeSource::Journal(j);
+                }
+                Err(e) => {
+                    eprintln!("cannot recover journal {JOURNAL_PATH}: {e}");
+                    eprintln!("delete it to resume from the matrix JSON instead");
+                    std::process::exit(2);
+                }
+            }
+        }
         let text = fs::read_to_string(&p).unwrap_or_else(|e| {
             eprintln!("cannot read {p}: {e}");
             std::process::exit(2);
         });
-        ResultMatrix::from_json(&text).unwrap_or_else(|e| {
+        let prior = ResultMatrix::from_json(&text).unwrap_or_else(|e| {
             eprintln!("cannot parse {p}: {e}");
             std::process::exit(2);
-        })
+        });
+        ResumeSource::Matrix(prior)
     });
+    // A journal-resumed campaign sweep re-arms the exact recorded
+    // schedule from the begin record.
+    if let Some(ResumeSource::Journal(j)) = &resume_src {
+        if let Some(m) = &j.campaign {
+            eprintln!(
+                "campaign re-armed from journal: seed {:#x}, {} fault(s) per cell",
+                m.seed,
+                m.specs.len()
+            );
+            matrix_opts.campaign = Some(m.campaign().unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }));
+        }
+    }
     for a in &args {
         if a == "--progress" {
             std::env::set_var("ISACMP_PROGRESS", "1");
@@ -445,7 +588,7 @@ fn main() {
     // report are written).
     let mut failed_cells = 0usize;
     let mut matrix = |size| {
-        let m = matrix(size, &matrix_opts, resume_prior.as_ref());
+        let m = matrix(size, &matrix_opts, campaign_manifest.as_ref(), resume_src.as_ref());
         failed_cells += m.failures.len();
         m
     };
@@ -563,6 +706,13 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+    // After all artifacts (results, metrics, events) are flushed, an
+    // interrupted run reports the conventional SIGINT exit status.
+    if shutdown::requested() {
+        eprintln!("interrupted by signal; partial results flushed (exit {})",
+            shutdown::EXIT_INTERRUPTED);
+        std::process::exit(shutdown::EXIT_INTERRUPTED);
     }
     if strict && failed_cells > 0 {
         eprintln!("--strict: {failed_cells} matrix cell(s) failed");

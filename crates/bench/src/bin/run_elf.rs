@@ -23,27 +23,41 @@
 //!   time to guest PCs, printed as a top-N hot-block table, embedded in
 //!   `--metrics`, and appended to `--spans-out` as `sampler;...` stacks.
 //! - `--events <path>`: drain the structured event log (watchdog trips,
-//!   fault injections, ...) to a JSON Lines file after the run.
+//!   fault injections, checkpoints, ...) to a JSON Lines file.
 //! - `--progress[=N]`: heartbeat line on stderr every N retirements
 //!   (default 50M); also honoured via `ISACMP_PROGRESS=N`.
-//! - `--deadline-secs <s>`: wall-clock watchdog; a trip exits 124.
+//! - `--deadline-secs <s>`: wall-clock watchdog; a trip exits 124 and,
+//!   when `--checkpoint` is set, leaves a resumable snapshot behind.
 //! - `--inject <fault>`: deterministic fault injection (`trap@N`,
 //!   `fetch@N[:MASK]`, `read@N[:BIT]`).
 //! - `--campaign <seed>:<n>`: seeded multi-fault campaign (`n` sampled
 //!   faults); mutually exclusive with `--inject`. The fired count is
 //!   reported after the run.
+//! - `--checkpoint <path>`: crash-safe snapshotting. The snapshot is
+//!   written durably (tmp + fsync + rename) on SIGINT/SIGTERM (exit 130)
+//!   and on a watchdog trip; add `--checkpoint-every <N>` to also write
+//!   one every ~N retirements (rounded up to the retire loop's masked
+//!   check interval, so snapshots land on trace-block boundaries).
+//! - `--restore <path>`: resume from a snapshot. Mutually exclusive with
+//!   `--inject`/`--campaign` — the armed fault schedule, fired flags and
+//!   partial-trace position all come from the checkpoint. A restored run
+//!   finishes with the same final state hash, trace bytes and analysis
+//!   tables as one that was never interrupted.
 //!
-//! Exits with the guest's exit code (124 on a watchdog trip).
+//! Exits with the guest's exit code (124 on a watchdog trip, 130 when
+//! interrupted by SIGINT/SIGTERM).
 
 use isacmp::telemetry::sampler::Sampler;
 use isacmp::{
-    AArch64Executor, Campaign, CampaignSpec, CpuState, DualCriticalPath, EmulationCore,
-    FaultInjector, FaultPlan, IsaKind, Observer, PathLength, Program, ProfilingObserver,
-    RiscVExecutor, RunReport, SimError, TraceMeta, TraceWriter, Tx2Latency, WindowedCp,
-    DEFAULT_CAMPAIGN_WINDOW,
+    shutdown, AArch64Executor, Campaign, CampaignSpec, Checkpoint, CpuState, DualCriticalPath,
+    EmulationCore, FaultInjector, FaultPlan, IsaKind, Observer, PathLength, PhaseNanos, Program,
+    ProfilingObserver, RiscVExecutor, RunReport, RunStats, SimError, StopReason, TraceMark,
+    TraceMeta, TraceReader, TraceWriter, Tx2Latency, WindowedCp, DEFAULT_CAMPAIGN_WINDOW,
+    DEFAULT_FAULT_SEED,
 };
 use isacmp::SampleSnapshot;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Publish stride for `--sample`: one `(pc, instret)` publish every 2^8 =
 /// 256 retirements — ~70 µs apart at 3.7 MIPS, well under the sampling
@@ -53,17 +67,23 @@ const SAMPLE_LOG2_STRIDE: u32 = 8;
 /// Exit code for a watchdog trip, matching the `timeout(1)` convention.
 const EXIT_TIMEOUT: i32 = 124;
 
+/// The file-backed tracer variant the checkpoint plumbing handles.
+type FileTracer = TraceWriter<std::io::BufWriter<std::fs::File>>;
+
 struct Args {
     elf: String,
     metrics: Option<String>,
     trace_out: Option<String>,
     spans_out: Option<String>,
-    sample: Option<std::time::Duration>,
+    sample: Option<Duration>,
     events: Option<String>,
     progress: Option<u64>,
-    deadline: Option<std::time::Duration>,
+    deadline: Option<Duration>,
     inject: Option<FaultPlan>,
     campaign: Option<Campaign>,
+    checkpoint: Option<String>,
+    checkpoint_every: Option<u64>,
+    restore: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -77,6 +97,9 @@ fn parse_args() -> Result<Args, String> {
     let mut deadline = None;
     let mut inject = None;
     let mut campaign = None;
+    let mut checkpoint = None;
+    let mut checkpoint_every = None;
+    let mut restore = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         if a == "--metrics" {
@@ -85,7 +108,7 @@ fn parse_args() -> Result<Args, String> {
             sample = Some(Sampler::DEFAULT_PERIOD);
         } else if let Some(us) = a.strip_prefix("--sample=") {
             let us: u64 = us.parse().map_err(|_| format!("bad --sample period {us:?}"))?;
-            sample = Some(std::time::Duration::from_micros(us));
+            sample = Some(Duration::from_micros(us));
         } else if a == "--events" {
             events = Some(it.next().ok_or("--events needs a path")?);
         } else if a == "--trace-out" {
@@ -100,7 +123,7 @@ fn parse_args() -> Result<Args, String> {
             let s = it.next().ok_or("--deadline-secs needs a value")?;
             let secs: f64 =
                 s.parse().map_err(|_| format!("bad --deadline-secs value {s:?}"))?;
-            deadline = Some(std::time::Duration::from_secs_f64(secs));
+            deadline = Some(Duration::from_secs_f64(secs));
         } else if a == "--inject" {
             let s = it.next().ok_or("--inject needs a fault spec")?;
             inject = Some(FaultPlan::parse(&s)?);
@@ -108,6 +131,14 @@ fn parse_args() -> Result<Args, String> {
             let s = it.next().ok_or("--campaign needs <seed>:<n-faults>")?;
             let spec = CampaignSpec::parse(&s)?;
             campaign = Some(Campaign::sample(spec.seed, spec.n_faults, DEFAULT_CAMPAIGN_WINDOW));
+        } else if a == "--checkpoint" {
+            checkpoint = Some(it.next().ok_or("--checkpoint needs a path")?);
+        } else if a == "--checkpoint-every" {
+            let n = it.next().ok_or("--checkpoint-every needs a retirement count")?;
+            checkpoint_every =
+                Some(n.parse::<u64>().map_err(|_| format!("bad --checkpoint-every value {n:?}"))?);
+        } else if a == "--restore" {
+            restore = Some(it.next().ok_or("--restore needs a checkpoint path")?);
         } else if a.starts_with("--") {
             return Err(format!("unknown flag {a:?}"));
         } else if elf.is_none() {
@@ -119,11 +150,22 @@ fn parse_args() -> Result<Args, String> {
     if inject.is_some() && campaign.is_some() {
         return Err("--inject and --campaign are mutually exclusive".into());
     }
+    if checkpoint_every.is_some() && checkpoint.is_none() {
+        return Err("--checkpoint-every needs --checkpoint <path>".into());
+    }
+    if restore.is_some() && (inject.is_some() || campaign.is_some()) {
+        return Err(
+            "--restore is mutually exclusive with --inject/--campaign \
+             (the armed fault schedule comes from the checkpoint)"
+                .into(),
+        );
+    }
     Ok(Args {
         elf: elf.ok_or(
             "usage: run_elf <binary.elf> [--metrics out.json] [--trace-out out.trace] \
              [--spans-out out.folded] [--sample[=PERIOD_US]] [--events out.jsonl] \
-             [--progress[=N]] [--deadline-secs s] [--inject fault] [--campaign seed:n]",
+             [--progress[=N]] [--deadline-secs s] [--inject fault] [--campaign seed:n] \
+             [--checkpoint out.ckpt [--checkpoint-every N]] [--restore in.ckpt]",
         )?,
         metrics,
         trace_out,
@@ -134,26 +176,32 @@ fn parse_args() -> Result<Args, String> {
         deadline,
         inject,
         campaign,
+        checkpoint,
+        checkpoint_every,
+        restore,
     })
 }
 
-enum RunFailure {
-    Load(SimError),
-    Guest { err: SimError, pc: u64, instret: u64 },
-}
-
-fn run(
-    program: &Program,
+/// Drive one run segment: from the state's current position to guest
+/// exit, the next checkpoint boundary, an error, or an interruption.
+#[allow(clippy::too_many_arguments)]
+fn run_segment(
+    isa: IsaKind,
+    st: &mut CpuState,
     obs: &mut [&mut dyn Observer],
-    deadline: Option<std::time::Duration>,
+    deadline: Option<Duration>,
     injector: Option<Box<dyn FaultInjector>>,
     sample: Option<Arc<SampleSnapshot>>,
-) -> Result<(CpuState, isacmp::RunStats), RunFailure> {
+    checkpoint_every: Option<u64>,
+    heed_shutdown: bool,
+) -> Result<RunStats, SimError> {
     fn core_for<E: isacmp::IsaExecutor>(
         exec: E,
-        deadline: Option<std::time::Duration>,
+        deadline: Option<Duration>,
         injector: Option<Box<dyn FaultInjector>>,
         sample: Option<Arc<SampleSnapshot>>,
+        checkpoint_every: Option<u64>,
+        heed_shutdown: bool,
     ) -> EmulationCore<E> {
         let mut core = EmulationCore::new(exec);
         if let Some(d) = deadline {
@@ -165,21 +213,84 @@ fn run(
         if let Some(s) = sample {
             core = core.with_sampling(s, SAMPLE_LOG2_STRIDE);
         }
+        if let Some(n) = checkpoint_every {
+            core = core.with_checkpoint_every(n);
+        }
+        if heed_shutdown {
+            core = core.with_shutdown();
+        }
         core
     }
-    let mut st = CpuState::new();
-    program.load(&mut st).map_err(RunFailure::Load)?;
-    let result = match program.isa {
-        IsaKind::RiscV => {
-            core_for(RiscVExecutor::new(), deadline, injector, sample).run(&mut st, obs)
+    match isa {
+        IsaKind::RiscV => core_for(
+            RiscVExecutor::new(),
+            deadline,
+            injector,
+            sample,
+            checkpoint_every,
+            heed_shutdown,
+        )
+        .run(st, obs),
+        IsaKind::AArch64 => core_for(
+            AArch64Executor::new(),
+            deadline,
+            injector,
+            sample,
+            checkpoint_every,
+            heed_shutdown,
+        )
+        .run(st, obs),
+    }
+}
+
+/// Durably snapshot the paused machine (plus the armed campaign and the
+/// partial-trace position) to `path`. The tracer, if any, is flushed and
+/// fdatasync'd first so the bytes the mark points at survive a SIGKILL.
+fn write_checkpoint(
+    path: &str,
+    st: &CpuState,
+    campaign: Option<&Campaign>,
+    tracer: Option<&mut FileTracer>,
+) -> Result<Checkpoint, String> {
+    let mark = match tracer {
+        Some(t) => {
+            t.sync_all().map_err(|e| format!("cannot sync trace file: {e}"))?;
+            TraceMark { records: t.records(), blocks: t.blocks(), bytes: t.bytes_written() }
         }
-        IsaKind::AArch64 => {
-            core_for(AArch64Executor::new(), deadline, injector, sample).run(&mut st, obs)
-        }
+        None => TraceMark::default(),
     };
-    match result {
-        Ok(stats) => Ok((st, stats)),
-        Err(err) => Err(RunFailure::Guest { err, pc: st.pc, instret: st.instret }),
+    let ckpt = Checkpoint::capture(st, campaign, mark);
+    let bytes = ckpt
+        .write(std::path::Path::new(path))
+        .map_err(|e| format!("cannot write checkpoint {path}: {e}"))?;
+    let tel = isacmp::telemetry::global();
+    tel.counter_add("checkpoint_writes", 1);
+    tel.counter_add("checkpoint_bytes", bytes);
+    tel.event(
+        "checkpoint_written",
+        &[
+            ("path", isacmp::telemetry::Json::Str(path.to_string())),
+            ("instret", isacmp::telemetry::Json::Num(st.instret as f64)),
+            ("bytes", isacmp::telemetry::Json::Num(bytes as f64)),
+        ],
+    );
+    eprintln!("checkpoint: {path} at {} retirements ({bytes} bytes)", st.instret);
+    Ok(ckpt)
+}
+
+fn report_fired(campaign: Option<&Campaign>) {
+    if let Some(c) = campaign {
+        eprintln!("campaign: {} of {} scheduled fault(s) fired", c.fired_count(), c.len());
+        isacmp::telemetry::global().counter_add("faults_fired", c.fired_count());
+    }
+}
+
+fn sum_phases(a: PhaseNanos, b: PhaseNanos) -> PhaseNanos {
+    PhaseNanos {
+        fetch_ns: a.fetch_ns + b.fetch_ns,
+        decode_ns: a.decode_ns + b.decode_ns,
+        execute_ns: a.execute_ns + b.execute_ns,
+        observe_ns: a.observe_ns + b.observe_ns,
     }
 }
 
@@ -220,34 +331,150 @@ fn main() {
         size: "elf".into(),
         regions: program.regions.clone(),
     };
-    let mut tracer = args.trace_out.as_ref().map(|p| {
-        TraceWriter::create(std::path::Path::new(p), &trace_meta).unwrap_or_else(|e| {
-            eprintln!("cannot create trace file {p}: {e}");
-            std::process::exit(1);
-        })
-    });
 
-    if let Some(plan) = &args.inject {
-        eprintln!("fault injection armed: {}", plan.describe());
-    }
-    if let Some(c) = &args.campaign {
-        eprintln!("{}", c.describe());
-        for plan in c.plans() {
-            eprintln!("  {}", plan.spec());
+    let checkpointing = args.checkpoint.is_some();
+    let mut st = CpuState::new();
+    let mut tracer: Option<FileTracer> = None;
+    // The armed fault schedule this process drives. A fresh clone is boxed
+    // into the core each segment; clones share the fired counter, and
+    // per-plan fired flags are reconstructed deterministically at each
+    // checkpoint boundary, so pausing never re-arms a fired fault.
+    let mut campaign: Option<Campaign> = None;
+    // Single-plan injection outside checkpointing keeps its direct path;
+    // with checkpointing on, the plan rides in a one-plan campaign so the
+    // snapshot can carry it.
+    let mut solo_inject: Option<FaultPlan> = None;
+
+    if let Some(ckpt_path) = &args.restore {
+        let ckpt = Checkpoint::read(std::path::Path::new(ckpt_path)).unwrap_or_else(|e| {
+            eprintln!("cannot read checkpoint {ckpt_path}: {e}");
+            std::process::exit(1);
+        });
+        st = ckpt.restore_state().unwrap_or_else(|e| {
+            eprintln!("cannot restore state from {ckpt_path}: {e}");
+            std::process::exit(1);
+        });
+        campaign = ckpt.campaign.as_ref().map(|cs| {
+            cs.rearm().unwrap_or_else(|e| {
+                eprintln!("cannot re-arm campaign from {ckpt_path}: {e}");
+                std::process::exit(1);
+            })
+        });
+        if ckpt.trace.records > 0 {
+            // The trace prefix *is* the serialized observer state: replay
+            // it through the fresh analysis observers, then truncate to the
+            // marked block boundary and keep appending.
+            let trace_path = args.trace_out.as_deref().unwrap_or_else(|| {
+                eprintln!(
+                    "--restore of a traced checkpoint needs --trace-out <path> \
+                     (the partial capture to continue)"
+                );
+                std::process::exit(2);
+            });
+            let _span = tel.enter("restore_replay");
+            let mut reader =
+                TraceReader::open(std::path::Path::new(trace_path)).unwrap_or_else(|e| {
+                    eprintln!("cannot open trace {trace_path}: {e}");
+                    std::process::exit(1);
+                });
+            {
+                let mut obs: Vec<&mut dyn Observer> =
+                    vec![&mut pl, &mut cp, &mut wcp, &mut profile];
+                let mut fed = 0u64;
+                while fed < ckpt.trace.records {
+                    match reader.next() {
+                        Some(Ok(ri)) => {
+                            for o in obs.iter_mut() {
+                                o.on_retire(&ri);
+                            }
+                            fed += 1;
+                        }
+                        Some(Err(e)) => {
+                            eprintln!("cannot replay trace prefix from {trace_path}: {e}");
+                            std::process::exit(1);
+                        }
+                        None => {
+                            eprintln!(
+                                "trace {trace_path} ends after {fed} records; \
+                                 checkpoint expects {}",
+                                ckpt.trace.records
+                            );
+                            std::process::exit(1);
+                        }
+                    }
+                }
+            }
+            tracer = Some(
+                TraceWriter::resume(
+                    std::path::Path::new(trace_path),
+                    ckpt.trace.records,
+                    ckpt.trace.blocks,
+                    ckpt.trace.bytes,
+                )
+                .unwrap_or_else(|e| {
+                    eprintln!("cannot resume trace {trace_path}: {e}");
+                    std::process::exit(1);
+                }),
+            );
+        } else if args.trace_out.is_some() {
+            eprintln!(
+                "checkpoint {ckpt_path} was taken without a trace; a capture started now \
+                 would only cover the tail of the run — drop --trace-out or restart"
+            );
+            std::process::exit(2);
+        } else {
+            eprintln!(
+                "note: checkpoint has no trace, so analysis observers restart at zero; \
+                 the final machine state is still exact"
+            );
         }
-        tel.counter_add("faults_scheduled", c.len() as u64);
-    }
-    let injector: Option<Box<dyn FaultInjector>> = match (&args.inject, &args.campaign) {
-        (Some(plan), _) => Some(Box::new(plan.clone())),
-        (None, Some(c)) => Some(Box::new(c.clone())),
-        (None, None) => None,
-    };
-    let report_fired = || {
+        tel.counter_add("checkpoint_restores", 1);
+        tel.event(
+            "checkpoint_restored",
+            &[
+                ("path", isacmp::telemetry::Json::Str(ckpt_path.clone())),
+                ("instret", isacmp::telemetry::Json::Num(ckpt.instret as f64)),
+                ("trace_records", isacmp::telemetry::Json::Num(ckpt.trace.records as f64)),
+            ],
+        );
+        eprintln!("restored: {ckpt_path} at {} retirements", st.instret);
+        if let Some(c) = &campaign {
+            eprintln!("{} (restored, {} already fired)", c.describe(), c.fired_count());
+            tel.counter_add("faults_scheduled", c.len() as u64);
+        }
+    } else {
+        program.load(&mut st).unwrap_or_else(|e| {
+            eprintln!("cannot load {path}: {e}");
+            std::process::exit(1);
+        });
+        tracer = args.trace_out.as_ref().map(|p| {
+            TraceWriter::create(std::path::Path::new(p), &trace_meta).unwrap_or_else(|e| {
+                eprintln!("cannot create trace file {p}: {e}");
+                std::process::exit(1);
+            })
+        });
+        if let Some(plan) = &args.inject {
+            eprintln!("fault injection armed: {}", plan.describe());
+            if checkpointing {
+                campaign = Some(Campaign::from_plans(vec![plan.clone()], DEFAULT_FAULT_SEED));
+            } else {
+                solo_inject = Some(plan.clone());
+            }
+        }
         if let Some(c) = &args.campaign {
-            eprintln!("campaign: {} of {} scheduled fault(s) fired", c.fired_count(), c.len());
-            isacmp::telemetry::global().counter_add("faults_fired", c.fired_count());
+            eprintln!("{}", c.describe());
+            for plan in c.plans() {
+                eprintln!("  {}", plan.spec());
+            }
+            tel.counter_add("faults_scheduled", c.len() as u64);
+            campaign = Some(c.clone());
         }
-    };
+    }
+
+    if checkpointing {
+        shutdown::install();
+    }
+
     // Start the sampler before the guest so the whole run is covered; it
     // stops (and its thread joins) immediately after, so the calibration
     // runs below are never sampled.
@@ -256,30 +483,100 @@ fn main() {
         (Some(snap), Some(period)) => Some(Sampler::start(Arc::clone(snap), period)),
         _ => None,
     };
-    let (st, stats) = {
-        let _span = tel.enter("emulate");
-        let mut obs: Vec<&mut dyn Observer> = vec![&mut pl, &mut cp, &mut wcp, &mut profile];
-        if let Some(t) = tracer.as_mut() {
-            obs.push(t);
-        }
-        run(&program, &mut obs, args.deadline, injector, snapshot.clone()).unwrap_or_else(|f| {
-            match f {
-                RunFailure::Load(e) => eprintln!("cannot load {path}: {e}"),
-                RunFailure::Guest { err, pc, instret } => {
-                    report_fired();
-                    eprintln!(
-                        "guest fault: {err} (pc={pc:#x}, after {instret} retired instructions)"
-                    );
-                    if err.is_watchdog() {
-                        std::process::exit(EXIT_TIMEOUT);
+
+    let run_start = Instant::now();
+    let mut total_wall = Duration::ZERO;
+    let mut total_phases = PhaseNanos::default();
+    let stats = loop {
+        // The watchdog budget spans the whole run, not one segment.
+        let remaining = args.deadline.map(|d| d.saturating_sub(run_start.elapsed()));
+        let seg = {
+            let _span = tel.enter("emulate");
+            let injector: Option<Box<dyn FaultInjector>> = match (&campaign, &solo_inject) {
+                (Some(c), _) => Some(Box::new(c.clone())),
+                (None, Some(p)) => Some(Box::new(p.clone())),
+                (None, None) => None,
+            };
+            let mut obs: Vec<&mut dyn Observer> = vec![&mut pl, &mut cp, &mut wcp, &mut profile];
+            if let Some(t) = tracer.as_mut() {
+                obs.push(t);
+            }
+            run_segment(
+                program.isa,
+                &mut st,
+                &mut obs,
+                remaining,
+                injector,
+                snapshot.clone(),
+                args.checkpoint_every,
+                checkpointing,
+            )
+        };
+        match seg {
+            Ok(s) if s.stop == StopReason::CheckpointDue => {
+                total_wall += s.wall;
+                total_phases = sum_phases(total_phases, s.phases);
+                let ckpt_path =
+                    args.checkpoint.as_deref().expect("--checkpoint-every requires --checkpoint");
+                match write_checkpoint(ckpt_path, &st, campaign.as_ref(), tracer.as_mut()) {
+                    Ok(ckpt) => {
+                        // Continue with the snapshot's own re-armed schedule
+                        // — exactly what a restore would run — so a paused
+                        // run and a resumed one stay in lockstep.
+                        if let Some(cs) = &ckpt.campaign {
+                            campaign = Some(cs.rearm().unwrap_or_else(|e| {
+                                eprintln!("internal: checkpointed campaign does not re-arm: {e}");
+                                std::process::exit(1);
+                            }));
+                        }
+                    }
+                    Err(msg) => {
+                        eprintln!("{msg}");
+                        std::process::exit(1);
                     }
                 }
             }
-            std::process::exit(1);
-        })
+            Ok(mut s) => {
+                s.wall += total_wall;
+                s.phases = sum_phases(total_phases, s.phases);
+                break s;
+            }
+            Err(err) => {
+                report_fired(campaign.as_ref());
+                let interrupted = matches!(err, SimError::Interrupted { .. });
+                if interrupted || err.is_watchdog() {
+                    if let Some(ckpt_path) = args.checkpoint.as_deref() {
+                        if let Err(msg) =
+                            write_checkpoint(ckpt_path, &st, campaign.as_ref(), tracer.as_mut())
+                        {
+                            eprintln!("{msg}");
+                        }
+                    }
+                }
+                if interrupted {
+                    tel.event(
+                        "run_interrupted",
+                        &[
+                            ("elf", isacmp::telemetry::Json::Str(path.clone())),
+                            ("instret", isacmp::telemetry::Json::Num(st.instret as f64)),
+                        ],
+                    );
+                    eprintln!("{err} (pc={:#x})", st.pc);
+                    std::process::exit(shutdown::EXIT_INTERRUPTED);
+                }
+                eprintln!(
+                    "guest fault: {err} (pc={:#x}, after {} retired instructions)",
+                    st.pc, st.instret
+                );
+                if err.is_watchdog() {
+                    std::process::exit(EXIT_TIMEOUT);
+                }
+                std::process::exit(1);
+            }
+        }
     };
     let hot_blocks = sampler.map(|s| s.stop().attribute(&program.regions));
-    report_fired();
+    report_fired(campaign.as_ref());
     tel.counter_add("instructions_retired", stats.retired);
 
     println!("{path}");
@@ -335,11 +632,15 @@ fn main() {
         // deliberately watchdog- and fault-free.
         let _span = tel.enter("calibrate");
         let bare_run = |obs: &mut Vec<&mut dyn Observer>| {
-            run(&program, obs, None, None, None).ok().map(|(_, s)| s.wall)
+            let mut st = CpuState::new();
+            program.load(&mut st).ok()?;
+            run_segment(program.isa, &mut st, obs, None, None, None, None, false)
+                .ok()
+                .map(|s| s.wall)
         };
         let bare = bare_run(&mut vec![]);
         if let Some(bare_wall) = bare.filter(|w| !w.is_zero()) {
-            let pct_over = |wall: std::time::Duration| {
+            let pct_over = |wall: Duration| {
                 ((wall.as_secs_f64() / bare_wall.as_secs_f64() - 1.0) * 100.0).max(0.0)
             };
             report.observer_overhead_pct = Some(pct_over(stats.wall));

@@ -30,7 +30,8 @@ impl Tracer<'_> {
         for (addr, bytes) in &self.text {
             if pc >= *addr && (pc + 4) <= addr + bytes.len() as u64 {
                 let off = (pc - addr) as usize;
-                return Some(u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()));
+                let word: [u8; 4] = bytes.get(off..off + 4)?.try_into().ok()?;
+                return Some(u32::from_le_bytes(word));
             }
         }
         None

@@ -1,11 +1,13 @@
 //! Typed per-cell errors and the options that control fault tolerance.
 //!
-//! One experiment cell can fail in six distinct ways — at compile time, at
-//! load time, during emulation, by panicking, by producing a wrong
-//! checksum, or by tripping a watchdog — and the matrix must survive all
-//! of them: a failed cell becomes an `ERR(<kind>)` entry in a partial
+//! One experiment cell can fail in several distinct ways — at compile
+//! time, at load time, during emulation, by panicking, by producing a
+//! wrong checksum, by tripping a watchdog, or by being interrupted by a
+//! shutdown signal — and the matrix must survive all of them: a failed
+//! cell becomes an `ERR(<kind>)` entry in a partial
 //! [`ResultMatrix`](analysis::ResultMatrix) instead of killing the other
-//! nineteen cells.
+//! nineteen cells (an *interrupted* cell is the one exception: it is not
+//! recorded at all, so a resumed run re-attempts it).
 
 use std::time::Duration;
 
@@ -55,6 +57,13 @@ pub enum CellError {
         /// The guest's exit code.
         code: i64,
     },
+    /// The run was cut short by SIGINT/SIGTERM (graceful shutdown). Not a
+    /// measurement failure: the cell is neither recorded nor journaled, so
+    /// a resumed matrix simply re-runs it.
+    Interrupted {
+        /// Instructions retired when the shutdown flag was observed.
+        instret: u64,
+    },
 }
 
 impl CellError {
@@ -68,6 +77,7 @@ impl CellError {
             CellError::ChecksumMismatch { .. } => "checksum",
             CellError::Timeout { .. } => "timeout",
             CellError::NonZeroExit { .. } => "exit",
+            CellError::Interrupted { .. } => "interrupted",
         }
     }
 
@@ -120,6 +130,9 @@ impl std::fmt::Display for CellError {
                 write!(f, "watchdog after {instret} retirements: {err}")
             }
             CellError::NonZeroExit { code } => write!(f, "guest exited with code {code}"),
+            CellError::Interrupted { instret } => {
+                write!(f, "interrupted by signal after {instret} retirements")
+            }
         }
     }
 }
@@ -158,6 +171,14 @@ pub struct CellOptions {
     /// replay) while a fault or campaign is armed — an injected-fault run
     /// is not a reusable measurement.
     pub trace_dir: Option<std::path::PathBuf>,
+    /// Honor the process shutdown flag ([`simcore::shutdown`]): abort the
+    /// retire loop at the next masked boundary with
+    /// [`CellError::Interrupted`] instead of running to completion.
+    pub heed_shutdown: bool,
+    /// Directory for resumable watchdog snapshots: when a cell trips its
+    /// deadline, its machine state is checkpointed here (one `.ckpt` per
+    /// cell label) before the `ERR(timeout)` is recorded.
+    pub checkpoint_dir: Option<std::path::PathBuf>,
 }
 
 impl CellOptions {
@@ -257,6 +278,12 @@ pub struct MatrixOptions {
     /// Trace cache directory shared by all cells (see
     /// [`CellOptions::trace_dir`]).
     pub trace_dir: Option<std::path::PathBuf>,
+    /// Honor the process shutdown flag in every cell and in the worker
+    /// pool (see [`CellOptions::heed_shutdown`]).
+    pub heed_shutdown: bool,
+    /// Directory for resumable watchdog snapshots (see
+    /// [`CellOptions::checkpoint_dir`]).
+    pub checkpoint_dir: Option<std::path::PathBuf>,
 }
 
 impl MatrixOptions {
@@ -272,6 +299,8 @@ impl MatrixOptions {
             fault,
             campaign: self.campaign.clone(),
             trace_dir: self.trace_dir.clone(),
+            heed_shutdown: self.heed_shutdown,
+            checkpoint_dir: self.checkpoint_dir.clone(),
         }
     }
 }

@@ -36,12 +36,14 @@
 
 mod campaign;
 mod error;
+mod journal;
 mod tracecache;
 
 pub use campaign::CampaignManifest;
 pub use error::{
     CellError, CellOptions, CellSelector, InjectSpec, MatrixOptions, MAX_CELL_RETRIES,
 };
+pub use journal::{read_journal, CellJournal, JournalContents, JOURNAL_SCHEMA};
 pub use trace::{TraceError, TraceMeta, TraceReader, TraceSummary, TraceWriter};
 pub use tracecache::{cell_meta, replay_cell, trace_path};
 
@@ -54,10 +56,11 @@ pub use isa_aarch64::AArch64Executor;
 pub use isa_riscv::RiscVExecutor;
 pub use kernelgen::{compile, interpret, Compiled, KernelProgram, Personality};
 pub use simcore::{
-    host_mips, Campaign, CampaignSpec, CpuState, EmulationCore, FaultInjector, FaultKind,
+    durable, host_mips, shutdown, Campaign, CampaignSpec, CampaignState, Checkpoint,
+    CheckpointError, CpuState, EmulationCore, FaultInjector, FaultKind,
     FaultPlan, InjectAction, InstGroup, IsaExecutor, IsaKind, Observer, Phase, PhaseNanos,
     Program, RegSet, RetiredInst, RunStats, Sample, SampleSnapshot,
-    SimError, DEFAULT_CAMPAIGN_WINDOW,
+    SimError, StopReason, TraceMark, DEFAULT_CAMPAIGN_WINDOW, DEFAULT_FAULT_SEED,
 };
 pub use uarch::{
     run_guest, BimodalPredictor, BranchStats, CacheConfig, CacheModel, CacheStats,
@@ -108,14 +111,31 @@ pub fn try_execute_with(
     deadline: Option<std::time::Duration>,
     injector: Option<Box<dyn FaultInjector>>,
 ) -> Result<(CpuState, RunStats), CellError> {
+    try_execute_inner(compiled, observers, deadline, injector, false).map_err(|(e, _)| e)
+}
+
+/// The execution engine behind [`try_execute_with`]: same typed errors,
+/// but the failing machine state rides along with the error so callers
+/// can snapshot it (watchdog-trip checkpoints need the state the guest
+/// died in, not a fresh one).
+fn try_execute_inner(
+    compiled: &Compiled,
+    observers: &mut [&mut dyn Observer],
+    deadline: Option<std::time::Duration>,
+    injector: Option<Box<dyn FaultInjector>>,
+    heed_shutdown: bool,
+) -> Result<(CpuState, RunStats), (CellError, Box<CpuState>)> {
     let _span = telemetry::global().enter("emulate");
     let mut st = CpuState::new();
-    compiled.program.load(&mut st).map_err(CellError::Load)?;
+    if let Err(e) = compiled.program.load(&mut st) {
+        return Err((CellError::Load(e), Box::new(st)));
+    }
 
     fn build_core<E: IsaExecutor>(
         exec: E,
         deadline: Option<std::time::Duration>,
         injector: Option<Box<dyn FaultInjector>>,
+        heed_shutdown: bool,
     ) -> EmulationCore<E> {
         let mut core = EmulationCore::new(exec);
         if let Some(d) = deadline {
@@ -124,27 +144,32 @@ pub fn try_execute_with(
         if let Some(inj) = injector {
             core = core.with_injector(inj);
         }
+        if heed_shutdown {
+            core = core.with_shutdown();
+        }
         core
     }
 
     let result = match compiled.program.isa {
-        IsaKind::RiscV => {
-            build_core(RiscVExecutor::new(), deadline, injector).run(&mut st, observers)
-        }
-        IsaKind::AArch64 => {
-            build_core(AArch64Executor::new(), deadline, injector).run(&mut st, observers)
+        IsaKind::RiscV => build_core(RiscVExecutor::new(), deadline, injector, heed_shutdown)
+            .run(&mut st, observers),
+        IsaKind::AArch64 => build_core(AArch64Executor::new(), deadline, injector, heed_shutdown)
+            .run(&mut st, observers),
+    };
+    let stats = match result {
+        Ok(stats) => stats,
+        Err(err) => {
+            let instret = st.instret;
+            let e = match err {
+                SimError::Interrupted { .. } => CellError::Interrupted { instret },
+                err if err.is_watchdog() => CellError::Timeout { err, instret },
+                err => CellError::Sim { err, instret },
+            };
+            return Err((e, Box::new(st)));
         }
     };
-    let stats = result.map_err(|err| {
-        let instret = st.instret;
-        if err.is_watchdog() {
-            CellError::Timeout { err, instret }
-        } else {
-            CellError::Sim { err, instret }
-        }
-    })?;
     if stats.exit_code != 0 {
-        return Err(CellError::NonZeroExit { code: stats.exit_code });
+        return Err((CellError::NonZeroExit { code: stats.exit_code }, Box::new(st)));
     }
     telemetry::global().counter_add("instructions_retired", stats.retired);
     Ok((st, stats))
@@ -250,7 +275,19 @@ fn run_cell_attempt(
         let injector: Option<Box<dyn FaultInjector>> =
             armed.as_ref().map(|c| Box::new(c.clone()) as Box<dyn FaultInjector>);
         let emu_start = std::time::Instant::now();
-        let run = try_execute_with(&compiled, &mut obs, opts.deadline, injector);
+        let run = try_execute_inner(&compiled, &mut obs, opts.deadline, injector, opts.heed_shutdown)
+            .map_err(|(e, st)| {
+                // A watchdog-tripped cell leaves a resumable snapshot behind:
+                // the state it died in plus the armed schedule, so the slow
+                // cell can be continued (`run_elf --restore`) rather than
+                // re-run from scratch under a bigger deadline.
+                if matches!(e, CellError::Timeout { .. }) {
+                    if let Some(dir) = &opts.checkpoint_dir {
+                        write_timeout_snapshot(dir, workload, personality, isa, size, &st, armed.as_ref());
+                    }
+                }
+                e
+            });
         if let Some(c) = &armed {
             let fired = c.fired_count();
             tel.counter_add("faults_fired", fired);
@@ -312,11 +349,13 @@ fn run_cell_attempt(
                     tel.counter_add(&format!("phase_{name}_ns"), ns);
                 }
             }
-            // The run is verified: commit the capture into the cache.
+            // The run is verified: commit the capture into the cache
+            // durably (fsync + rename + dir fsync), so a later crash can
+            // never leave a torn trace under the final name.
             if let Some((w, tmp_path, final_path)) = capture.take() {
                 let committed = w
                     .finish(st.state_hash(), wall)
-                    .and_then(|_| std::fs::rename(&tmp_path, &final_path));
+                    .and_then(|_| durable::commit(&tmp_path, &final_path));
                 match committed {
                     Ok(()) => tel.counter_add("trace_captures", 1),
                     Err(_) => {
@@ -336,6 +375,52 @@ fn run_cell_attempt(
     }
 
     Ok(analyses.into_cell(workload.name(), personality.label(), isa_label(isa)))
+}
+
+/// Durably write a resumable snapshot of a watchdog-tripped cell:
+/// `<dir>/<workload>-<compiler>-<isa>-<size>.ckpt`. Best-effort — a
+/// snapshot failure is counted and logged, never escalated (the cell is
+/// already being recorded as `ERR(timeout)`).
+fn write_timeout_snapshot(
+    dir: &std::path::Path,
+    workload: Workload,
+    personality: &Personality,
+    isa: IsaKind,
+    size: SizeClass,
+    st: &CpuState,
+    campaign: Option<&Campaign>,
+) {
+    let tel = telemetry::global();
+    let _ = std::fs::create_dir_all(dir);
+    let path = dir.join(format!(
+        "{}-{}-{}-{}.ckpt",
+        workload.name(),
+        personality.label(),
+        isa_label(isa),
+        size.name()
+    ));
+    let ckpt = Checkpoint::capture(st, campaign, TraceMark::default());
+    match ckpt.write(&path) {
+        Ok(bytes) => {
+            tel.counter_add("checkpoint_writes", 1);
+            tel.counter_add("checkpoint_bytes", bytes);
+            tel.event(
+                "timeout_snapshot",
+                &[
+                    ("cell", telemetry::Json::Str(cell_label(workload, isa, personality))),
+                    ("path", telemetry::Json::Str(path.display().to_string())),
+                    ("instret", telemetry::Json::Num(st.instret as f64)),
+                ],
+            );
+        }
+        Err(e) => {
+            tel.counter_add("checkpoint_errors", 1);
+            tel.event(
+                "checkpoint_error",
+                &[("error", telemetry::Json::Str(e.to_string()))],
+            );
+        }
+    }
 }
 
 /// [`run_cell`] with explicit fault-tolerance options: a wall-clock
@@ -375,6 +460,13 @@ pub fn run_cell_opts(
             }
             Err(e) => {
                 let label = telemetry::Json::Str(cell_label(workload, isa, personality));
+                // A signal-interrupted cell is not a measurement failure:
+                // no `cells_failed`, no retry — it simply was not run to
+                // completion, and a resumed matrix re-attempts it.
+                if matches!(e, CellError::Interrupted { .. }) {
+                    tel.event("cell_interrupted", &[("cell", label)]);
+                    return Err(e);
+                }
                 if matches!(e, CellError::Timeout { .. }) {
                     tel.counter_add("watchdog_trips", 1);
                     tel.event(
@@ -445,8 +537,15 @@ pub fn run_matrix_opts(
     size: SizeClass,
     opts: &MatrixOptions,
 ) -> ResultMatrix {
-    let _span = telemetry::global().enter("matrix");
-    let combos: Vec<(Workload, Personality, IsaKind)> = workloads
+    run_matrix_journaled(workloads, size, opts, None)
+}
+
+/// The paper's canonical cell order: workloads x {GCC 9.2, GCC 12.2} x
+/// {AArch64, RISC-V}. Every matrix entry point iterates combinations in
+/// this order, which is what makes resumed and uninterrupted matrices
+/// byte-identical.
+fn matrix_combos(workloads: &[Workload]) -> Vec<(Workload, Personality, IsaKind)> {
+    workloads
         .iter()
         .flat_map(|&w| {
             [Personality::gcc92(), Personality::gcc122()]
@@ -455,16 +554,90 @@ pub fn run_matrix_opts(
                     [IsaKind::AArch64, IsaKind::RiscV].into_iter().map(move |isa| (w, p, isa))
                 })
         })
-        .collect();
-    let outcomes = par_map(&combos, |(w, p, isa)| {
-        let cell_opts = opts.cell_options(w.name(), p.label(), isa_label(*isa));
-        run_cell_opts(*w, *isa, p, size, &cell_opts)
-    });
+        .collect()
+}
+
+/// [`run_matrix_opts`] with a crash-safe [`CellJournal`]: each cell's
+/// outcome is durably appended as it completes, before the worker moves
+/// on, so a SIGKILL mid-matrix loses at most the cells still in flight.
+/// When `opts.heed_shutdown` is set, SIGINT/SIGTERM drains the worker
+/// pool gracefully: unstarted combos are skipped (returned matrix simply
+/// lacks them) and interrupted cells are neither recorded nor journaled.
+pub fn run_matrix_journaled(
+    workloads: &[Workload],
+    size: SizeClass,
+    opts: &MatrixOptions,
+    journal: Option<&std::sync::Mutex<CellJournal>>,
+) -> ResultMatrix {
+    let _span = telemetry::global().enter("matrix");
+    let combos = matrix_combos(workloads);
+    let outcomes = run_combos(&combos, size, opts, journal);
     let mut matrix = ResultMatrix::default();
     for ((w, p, isa), outcome) in combos.iter().zip(outcomes) {
-        record_outcome(&mut matrix, w.name(), p.label(), isa_label(*isa), outcome, opts.retries);
+        if let Some(outcome) = outcome {
+            record_outcome(&mut matrix, w.name(), p.label(), isa_label(*isa), outcome, opts.retries);
+        }
     }
     matrix
+}
+
+/// Run a set of combinations on the worker pool, journaling each outcome
+/// as it completes. `None` slots are combos never started because a
+/// shutdown was requested.
+#[allow(clippy::type_complexity)]
+fn run_combos(
+    combos: &[(Workload, Personality, IsaKind)],
+    size: SizeClass,
+    opts: &MatrixOptions,
+    journal: Option<&std::sync::Mutex<CellJournal>>,
+) -> Vec<Option<Result<Result<ExperimentCell, CellError>, String>>> {
+    par_map(
+        combos,
+        |(w, p, isa)| {
+            let cell_opts = opts.cell_options(w.name(), p.label(), isa_label(*isa));
+            let outcome = run_cell_opts(*w, *isa, p, size, &cell_opts);
+            journal_outcome(journal, w.name(), p.label(), isa_label(*isa), &outcome, opts.retries);
+            outcome
+        },
+        opts.heed_shutdown,
+    )
+}
+
+/// Durably append one completed cell outcome to the journal (if one is
+/// attached). Interrupted cells are deliberately *not* journaled: the
+/// absence of a record is what marks the combo for re-running on resume.
+/// Journal I/O failures are counted and logged, never escalated — the
+/// in-memory matrix still carries the outcome.
+fn journal_outcome(
+    journal: Option<&std::sync::Mutex<CellJournal>>,
+    workload: &str,
+    compiler: &str,
+    isa: &str,
+    outcome: &Result<ExperimentCell, CellError>,
+    retries_asked: u32,
+) {
+    let Some(journal) = journal else { return };
+    let lock = || journal.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let written = match outcome {
+        Ok(cell) => lock().record_cell(cell),
+        Err(CellError::Interrupted { .. }) => return,
+        Err(e) => {
+            // Mirror `record_outcome`'s retries accounting exactly, so a
+            // journal-recovered failure is byte-identical to one recorded
+            // by an uninterrupted run.
+            let retries = if e.retryable() { retries_asked.min(MAX_CELL_RETRIES) } else { 0 };
+            let f = e.to_failure(workload, compiler, isa, retries as u64);
+            lock().record_failure(&f)
+        }
+    };
+    if let Err(io) = written {
+        let tel = telemetry::global();
+        tel.counter_add("journal_errors", 1);
+        tel.event(
+            "journal_error",
+            &[("error", telemetry::Json::Str(io.to_string()))],
+        );
+    }
 }
 
 /// Fold one worker outcome into the matrix: a measured cell, a typed
@@ -480,6 +653,9 @@ fn record_outcome(
 ) {
     match outcome {
         Ok(Ok(cell)) => matrix.cells.push(cell),
+        // Interrupted is not an outcome: the cell was cut short by a
+        // shutdown signal and will be re-attempted by a resumed run.
+        Ok(Err(CellError::Interrupted { .. })) => {}
         Ok(Err(e)) => {
             let retries = if e.retryable() { retries_asked.min(MAX_CELL_RETRIES) } else { 0 };
             matrix.failures.push(e.to_failure(workload, compiler, isa, retries as u64));
@@ -511,6 +687,18 @@ fn combo_for(workload: &str, compiler: &str, isa: &str) -> Option<(Workload, Per
 /// Telemetry counters: `cells_skipped` (prior healthy cells kept) and
 /// `cells_resumed` (failed cells re-run).
 pub fn resume_matrix(prior: &ResultMatrix, size: SizeClass, opts: &MatrixOptions) -> ResultMatrix {
+    resume_matrix_journaled(prior, size, opts, None)
+}
+
+/// [`resume_matrix`] with a crash-safe [`CellJournal`] attached to the
+/// re-run cells (kept prior cells are the caller's to seed into the
+/// journal — see `make_tables`).
+pub fn resume_matrix_journaled(
+    prior: &ResultMatrix,
+    size: SizeClass,
+    opts: &MatrixOptions,
+    journal: Option<&std::sync::Mutex<CellJournal>>,
+) -> ResultMatrix {
     let tel = telemetry::global();
     let _span = tel.enter("matrix_resume");
     let mut matrix =
@@ -524,12 +712,98 @@ pub fn resume_matrix(prior: &ResultMatrix, size: SizeClass, opts: &MatrixOptions
         }
     }
     tel.counter_add("cells_resumed", reruns.len() as u64);
-    let outcomes = par_map(&reruns, |(w, p, isa)| {
-        let cell_opts = opts.cell_options(w.name(), p.label(), isa_label(*isa));
-        run_cell_opts(*w, *isa, p, size, &cell_opts)
-    });
+    let outcomes = run_combos(&reruns, size, opts, journal);
     for ((w, p, isa), outcome) in reruns.iter().zip(outcomes) {
-        record_outcome(&mut matrix, w.name(), p.label(), isa_label(*isa), outcome, opts.retries);
+        if let Some(outcome) = outcome {
+            record_outcome(&mut matrix, w.name(), p.label(), isa_label(*isa), outcome, opts.retries);
+        }
+    }
+    matrix
+}
+
+/// Continue an interrupted matrix run from journal-recovered outcomes.
+///
+/// Unlike [`resume_matrix`] (which *heals* a finished-but-partial matrix
+/// by re-running its failures), this is a strict continuation: every
+/// recorded cell AND failure from `prior` is kept verbatim, and only the
+/// combinations with no record at all are run. The result is reassembled
+/// in canonical matrix order, so a run that was SIGKILLed and resumed
+/// produces a `matrix.json` byte-identical to one that was never
+/// interrupted. Records whose labels this build cannot map to a known
+/// combination are carried forward unchanged at the end.
+///
+/// Telemetry: counters `cells_skipped` / `cells_resumed` /
+/// `journal_resumes`, event `journal_resume`.
+pub fn continue_matrix(
+    workloads: &[Workload],
+    size: SizeClass,
+    opts: &MatrixOptions,
+    prior: &ResultMatrix,
+    journal: Option<&std::sync::Mutex<CellJournal>>,
+) -> ResultMatrix {
+    let tel = telemetry::global();
+    let _span = tel.enter("matrix_continue");
+    let combos = matrix_combos(workloads);
+    let key = |w: &str, c: &str, i: &str| (w.to_string(), c.to_string(), i.to_string());
+    let done: std::collections::HashSet<_> = prior
+        .cells
+        .iter()
+        .map(|c| key(&c.workload, &c.compiler, &c.isa))
+        .chain(prior.failures.iter().map(|f| key(&f.workload, &f.compiler, &f.isa)))
+        .collect();
+    let missing: Vec<(Workload, Personality, IsaKind)> = combos
+        .iter()
+        .filter(|(w, p, isa)| !done.contains(&key(w.name(), p.label(), isa_label(*isa))))
+        .cloned()
+        .collect();
+    tel.counter_add("cells_skipped", (prior.cells.len() + prior.failures.len()) as u64);
+    tel.counter_add("cells_resumed", missing.len() as u64);
+    tel.counter_add("journal_resumes", 1);
+    tel.event(
+        "journal_resume",
+        &[
+            ("recovered", telemetry::Json::Num(done.len() as f64)),
+            ("remaining", telemetry::Json::Num(missing.len() as f64)),
+        ],
+    );
+
+    let outcomes = run_combos(&missing, size, opts, journal);
+    let mut fresh: std::collections::HashMap<_, _> = missing
+        .iter()
+        .zip(outcomes)
+        .filter_map(|((w, p, isa), o)| {
+            o.map(|o| (key(w.name(), p.label(), isa_label(*isa)), o))
+        })
+        .collect();
+
+    // Reassemble in canonical order: kept records slot back into exactly
+    // the position an uninterrupted run would have produced them in.
+    let mut matrix = ResultMatrix::default();
+    for (w, p, isa) in &combos {
+        let (wn, pl, il) = (w.name(), p.label(), isa_label(*isa));
+        if let Some(c) = prior.get(wn, pl, il) {
+            matrix.cells.push(c.clone());
+        } else if let Some(f) = prior.get_failure(wn, pl, il) {
+            matrix.failures.push(f.clone());
+        } else if let Some(outcome) = fresh.remove(&key(wn, pl, il)) {
+            record_outcome(&mut matrix, wn, pl, il, outcome, opts.retries);
+        }
+        // else: skipped because shutdown was requested again — still
+        // missing from the journal, so the next resume re-attempts it.
+    }
+    let known: std::collections::HashSet<_> = combos
+        .iter()
+        .map(|(w, p, isa)| key(w.name(), p.label(), isa_label(*isa)))
+        .collect();
+    for c in &prior.cells {
+        if !known.contains(&key(&c.workload, &c.compiler, &c.isa)) {
+            matrix.cells.push(c.clone());
+        }
+    }
+    for f in &prior.failures {
+        if !known.contains(&key(&f.workload, &f.compiler, &f.isa)) {
+            matrix.failures.push(f.clone());
+        }
     }
     matrix
 }
@@ -540,18 +814,24 @@ pub fn resume_matrix(prior: &ResultMatrix, size: SizeClass, opts: &MatrixOptions
 /// yields one `Err` slot instead of tearing down the pool, and the slot
 /// mutex is poison-tolerant (a poisoned lock only means some *other* slot
 /// panicked mid-store, which `catch_unwind` already prevents).
+///
+/// When `heed_shutdown` is set, workers stop claiming new items once the
+/// process shutdown flag is raised; unclaimed items come back as `None`
+/// (skipped), letting the pool drain gracefully after SIGINT/SIGTERM.
 fn par_map<T: Sync, R: Send>(
     items: &[T],
     f: impl Fn(&T) -> R + Sync,
-) -> Vec<Result<R, String>> {
+    heed_shutdown: bool,
+) -> Vec<Option<Result<R, String>>> {
     use std::panic::{catch_unwind, AssertUnwindSafe};
 
     let call = |item: &T| {
         catch_unwind(AssertUnwindSafe(|| f(item))).map_err(error::panic_message)
     };
+    let stop = || heed_shutdown && shutdown::requested();
     let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(items.len());
     if threads <= 1 {
-        return items.iter().map(call).collect();
+        return items.iter().map(|item| if stop() { None } else { Some(call(item)) }).collect();
     }
     let next = std::sync::atomic::AtomicUsize::new(0);
     let mut slots: Vec<Option<Result<R, String>>> = Vec::new();
@@ -560,6 +840,9 @@ fn par_map<T: Sync, R: Send>(
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
+                if stop() {
+                    break;
+                }
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= items.len() {
                     break;
@@ -571,7 +854,13 @@ fn par_map<T: Sync, R: Send>(
     });
     slots
         .into_iter()
-        .map(|r| r.unwrap_or_else(|| Err("worker died before filling its slot".into())))
+        .map(|r| match r {
+            Some(r) => Some(r),
+            // With shutdown requested, an empty slot is an item that was
+            // never claimed — skipped, not lost.
+            None if stop() => None,
+            None => Some(Err("worker died before filling its slot".into())),
+        })
         .collect()
 }
 
@@ -789,14 +1078,33 @@ mod tests {
 
     #[test]
     fn par_map_isolates_a_panicking_item() {
-        let out = par_map(&[1u32, 2, 3], |&n| {
-            if n == 2 {
-                panic!("boom on {n}");
-            }
-            n * 10
-        });
-        assert_eq!(out[0], Ok(10));
-        assert!(out[1].as_ref().is_err_and(|m| m.contains("boom on 2")));
-        assert_eq!(out[2], Ok(30));
+        let out = par_map(
+            &[1u32, 2, 3],
+            |&n| {
+                if n == 2 {
+                    panic!("boom on {n}");
+                }
+                n * 10
+            },
+            false,
+        );
+        assert_eq!(out[0], Some(Ok(10)));
+        assert!(out[1]
+            .as_ref()
+            .is_some_and(|r| r.as_ref().is_err_and(|m| m.contains("boom on 2"))));
+        assert_eq!(out[2], Some(Ok(30)));
+    }
+
+    // The only test in this crate that touches the process-wide shutdown
+    // flag (every other caller passes heed_shutdown=false), so no lock is
+    // needed against parallel tests.
+    #[test]
+    fn par_map_skips_unclaimed_items_after_shutdown() {
+        shutdown::request();
+        let out = par_map(&[1u32, 2, 3], |&n| n * 10, true);
+        shutdown::reset();
+        assert!(out.iter().all(Option::is_none), "no item claimed once the flag is up");
+        let out = par_map(&[1u32, 2], |&n| n * 10, true);
+        assert_eq!(out, vec![Some(Ok(10)), Some(Ok(20))]);
     }
 }

@@ -44,14 +44,32 @@ pub trait IsaExecutor {
     fn flush_decode_cache(&self) {}
 }
 
+/// Why [`EmulationCore::run`] returned `Ok`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The guest exited; observers received `on_finish` and the run is
+    /// complete.
+    Exited,
+    /// A periodic checkpoint came due (see
+    /// [`EmulationCore::with_checkpoint_every`]): the run paused at a
+    /// clean step boundary with `state.instret` holding the resume point.
+    /// Observers did *not* receive `on_finish`; call `run` again on the
+    /// same state to continue.
+    CheckpointDue,
+}
+
 /// Statistics from one emulation run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunStats {
-    /// Instructions retired (the paper's *path length*).
+    /// Instructions retired so far (the paper's *path length*). Counts
+    /// from the state's initial `instret`, so a resumed run reports the
+    /// absolute total, not just this segment.
     pub retired: u64,
-    /// Guest exit status.
+    /// Guest exit status (0 for a [`StopReason::CheckpointDue`] pause).
     pub exit_code: i64,
-    /// Host wall-clock time spent inside the run loop.
+    /// Why the run stopped.
+    pub stop: StopReason,
+    /// Host wall-clock time spent inside the run loop (this segment only).
     pub wall: Duration,
     /// Retire-loop phase breakdown; all-zero unless the crate is built with
     /// the `phase-timers` feature.
@@ -96,6 +114,16 @@ pub struct EmulationCore<E: IsaExecutor> {
     /// deadline check — the hot loop pays one AND and one never-taken
     /// branch.
     sample_mask: u64,
+    /// Pause for a checkpoint every this many retirements (rounded up to a
+    /// multiple of [`Self::DEADLINE_CHECK_INTERVAL`] so pauses land on
+    /// trace-block boundaries); `u64::MAX` disables checkpointing. The
+    /// check lives inside the already-masked deadline block, so the
+    /// disabled path adds nothing to the hot loop.
+    checkpoint_every: u64,
+    /// Poll [`crate::shutdown::requested`] at the masked check and stop
+    /// with [`SimError::Interrupted`] when set. Off by default so library
+    /// users and tests are unaffected by the process-wide flag.
+    heed_shutdown: bool,
 }
 
 /// Default heartbeat interval when `ISACMP_PROGRESS` is set without a count.
@@ -131,6 +159,8 @@ impl<E: IsaExecutor> EmulationCore<E> {
             injector: None,
             sample: None,
             sample_mask: u64::MAX,
+            checkpoint_every: u64::MAX,
+            heed_shutdown: false,
         }
     }
 
@@ -173,6 +203,33 @@ impl<E: IsaExecutor> EmulationCore<E> {
         self
     }
 
+    /// Pause the run every `every` retirements so the caller can snapshot
+    /// the machine state, then call `run` again to continue. The interval
+    /// is rounded **up** to a multiple of
+    /// [`Self::DEADLINE_CHECK_INTERVAL`]; since that interval is a
+    /// multiple of the trace block size, every pause lands exactly on a
+    /// flushed-trace boundary — a restored capture stays a byte prefix of
+    /// an uninterrupted one. Pass `u64::MAX` to disable (the default).
+    pub fn with_checkpoint_every(mut self, every: u64) -> Self {
+        self.checkpoint_every = if every == u64::MAX {
+            u64::MAX
+        } else {
+            every
+                .max(1)
+                .div_ceil(Self::DEADLINE_CHECK_INTERVAL)
+                .saturating_mul(Self::DEADLINE_CHECK_INTERVAL)
+        };
+        self
+    }
+
+    /// Poll the process-wide [`crate::shutdown`] flag at the masked check
+    /// and stop with [`SimError::Interrupted`] at a clean step boundary
+    /// when it is set. Off by default.
+    pub fn with_shutdown(mut self) -> Self {
+        self.heed_shutdown = true;
+        self
+    }
+
     /// Access the underlying executor (e.g. for disassembly).
     pub fn executor(&self) -> &E {
         &self.exec
@@ -189,7 +246,15 @@ impl<E: IsaExecutor> EmulationCore<E> {
         observers: &mut [&mut dyn Observer],
     ) -> Result<RunStats, SimError> {
         let start = Instant::now();
-        let mut retired: u64 = 0;
+        // A restored state resumes counting where the snapshot left off;
+        // fresh states start at instret 0, so nothing changes for them.
+        let start_retired = state.instret;
+        let mut retired: u64 = start_retired;
+        let next_checkpoint = if self.checkpoint_every == u64::MAX {
+            u64::MAX
+        } else {
+            start_retired.saturating_add(self.checkpoint_every)
+        };
         let mut next_beat = self.progress_every;
         // Reset this thread's phase accumulator so a prior (possibly failed)
         // run on the same worker thread cannot leak into our breakdown.
@@ -202,6 +267,24 @@ impl<E: IsaExecutor> EmulationCore<E> {
                 });
             }
             if retired & (Self::DEADLINE_CHECK_INTERVAL - 1) == 0 {
+                // Everything in this block runs once per 2^14 retirements,
+                // so the checkpoint/shutdown polls are off the hot path;
+                // with all three features disabled the loop pays exactly
+                // the same single masked branch it always has.
+                if retired >= next_checkpoint {
+                    state.instret = retired;
+                    return Ok(RunStats {
+                        retired,
+                        exit_code: 0,
+                        stop: StopReason::CheckpointDue,
+                        wall: start.elapsed(),
+                        phases: phase::take(),
+                    });
+                }
+                if self.heed_shutdown && crate::shutdown::requested() {
+                    state.instret = retired;
+                    return Err(SimError::Interrupted { retired });
+                }
                 if let Some(deadline) = self.deadline {
                     if start.elapsed() >= deadline {
                         state.instret = retired;
@@ -258,6 +341,7 @@ impl<E: IsaExecutor> EmulationCore<E> {
         Ok(RunStats {
             retired,
             exit_code: state.exited.unwrap_or(0),
+            stop: StopReason::Exited,
             wall: start.elapsed(),
             phases: phase::take(),
         })
@@ -410,6 +494,92 @@ mod tests {
         } else {
             assert_eq!(stats.phases, crate::phase::PhaseNanos::default());
         }
+    }
+
+    #[test]
+    fn checkpoint_pauses_land_on_masked_boundaries_and_resume_seamlessly() {
+        let interval = EmulationCore::<SpinExec>::DEADLINE_CHECK_INTERVAL;
+        let budget = interval * 3 + 100;
+        let mut st = spinning_state();
+        // Request a tiny interval: it must round UP to the masked interval.
+        let core = EmulationCore::new(SpinExec::new())
+            .with_budget(budget)
+            .with_checkpoint_every(1);
+        let mut pauses = 0;
+        loop {
+            match core.run(&mut st, &mut []) {
+                Ok(stats) => {
+                    assert_eq!(stats.stop, StopReason::CheckpointDue);
+                    assert_eq!(
+                        stats.retired % interval,
+                        0,
+                        "pause at {} is not a masked boundary",
+                        stats.retired
+                    );
+                    assert_eq!(st.instret, stats.retired, "resume point recorded");
+                    pauses += 1;
+                }
+                Err(SimError::InstructionBudgetExceeded { .. }) => break,
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert_eq!(pauses, 3, "one pause per interval before the budget trips");
+        assert_eq!(st.instret, budget, "error path still records absolute instret");
+    }
+
+    #[test]
+    fn disabled_checkpointing_never_pauses() {
+        // The overhead assertion, in the same style as
+        // no_sampling_means_zero_publishes: with checkpointing disabled the
+        // run reaches its budget in one Ok-free pass — zero CheckpointDue
+        // stops — because the sentinel comparison can never be true.
+        let mut st = spinning_state();
+        let core = EmulationCore::new(SpinExec::new())
+            .with_budget(EmulationCore::<SpinExec>::DEADLINE_CHECK_INTERVAL * 2);
+        let err = core.run(&mut st, &mut []).unwrap_err();
+        assert!(matches!(err, SimError::InstructionBudgetExceeded { .. }));
+    }
+
+    #[test]
+    fn resumed_run_counts_retirements_absolutely() {
+        // A state claiming N prior retirements budgets and reports from N.
+        let mut st = CpuState::new();
+        st.pc = 0x1000;
+        st.mem.write_u32(0x1000, 0).unwrap();
+        st.mem.write_u32(0x1004, 9).unwrap(); // nop, then exit(9)
+        st.instret = 1_000;
+        let stats = EmulationCore::new(SpinExec::new()).run(&mut st, &mut []).unwrap();
+        assert_eq!(stats.retired, 1_002);
+        assert_eq!(stats.stop, StopReason::Exited);
+        assert_eq!(st.instret, 1_002);
+    }
+
+    #[test]
+    fn shutdown_flag_interrupts_at_a_clean_boundary_only_when_heeded() {
+        let _guard =
+            crate::shutdown::TEST_FLAG_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let interval = EmulationCore::<SpinExec>::DEADLINE_CHECK_INTERVAL;
+        crate::shutdown::request();
+        // Not heeded: the flag is ignored and the budget trips instead.
+        let mut st = spinning_state();
+        let core = EmulationCore::new(SpinExec::new()).with_budget(interval);
+        assert!(matches!(
+            core.run(&mut st, &mut []).unwrap_err(),
+            SimError::InstructionBudgetExceeded { .. }
+        ));
+        // Heeded: the very first masked check (retired = 0) observes it.
+        let mut st = spinning_state();
+        let core = EmulationCore::new(SpinExec::new()).with_budget(interval).with_shutdown();
+        let err = core.run(&mut st, &mut []).unwrap_err();
+        assert_eq!(err, SimError::Interrupted { retired: 0 });
+        assert_eq!(st.instret, 0);
+        crate::shutdown::reset();
+        // Flag cleared: the same core runs to its budget.
+        let mut st = spinning_state();
+        assert!(matches!(
+            core.run(&mut st, &mut []).unwrap_err(),
+            SimError::InstructionBudgetExceeded { .. }
+        ));
     }
 
     #[test]

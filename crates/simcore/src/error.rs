@@ -43,6 +43,14 @@ pub enum SimError {
         /// Instructions retired when the watchdog fired.
         retired: u64,
     },
+    /// The run was stopped by an operator shutdown request (SIGINT /
+    /// SIGTERM via [`crate::shutdown`]): the guest did not fault, the
+    /// harness stopped it at a clean step boundary so its state could be
+    /// checkpointed.
+    Interrupted {
+        /// Instructions retired when the shutdown flag was observed.
+        retired: u64,
+    },
     /// The guest executed an explicit trap/breakpoint instruction.
     Breakpoint {
         /// PC of the breakpoint.
@@ -87,6 +95,9 @@ impl std::fmt::Display for SimError {
             }
             SimError::WallClockExceeded { limit_ms, retired } => {
                 write!(f, "wall-clock deadline of {limit_ms} ms exceeded after {retired} retirements")
+            }
+            SimError::Interrupted { retired } => {
+                write!(f, "interrupted by shutdown request after {retired} retirements")
             }
             SimError::Breakpoint { pc } => write!(f, "breakpoint at pc {pc:#x}"),
             SimError::Fault { pc, msg } => write!(f, "fault at pc {pc:#x}: {msg}"),

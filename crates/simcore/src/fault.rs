@@ -178,6 +178,33 @@ impl FaultPlan {
         &self.kind
     }
 
+    /// Whether this plan instance has already fired.
+    pub fn fired(&self) -> bool {
+        self.fired
+    }
+
+    /// Force the fired flag (checkpoint-restore path: a restored run must
+    /// not re-inject faults that fired before the snapshot).
+    pub fn set_fired(&mut self, fired: bool) {
+        self.fired = fired;
+    }
+
+    /// Whether this plan *would have fired* by the time `retired`
+    /// instructions have retired, given the injector's polling discipline
+    /// (`before_step` consulted with `retired` = 0, 1, 2, ... before each
+    /// step). `FlipRead` arms on the very first poll; `trap`/`fetch` fire
+    /// on the poll where `retired == at_instret`. This is how a checkpoint
+    /// taken at a step boundary reconstructs fired flags without access to
+    /// the boxed injector the core owns.
+    pub fn fired_by(&self, retired: u64) -> bool {
+        match self.kind {
+            FaultKind::FlipRead { .. } => retired > 0,
+            FaultKind::TrapAt { at_instret } | FaultKind::CorruptFetch { at_instret, .. } => {
+                at_instret < retired
+            }
+        }
+    }
+
     /// The XOR mask a `fetch` fault will apply (explicit or seed-derived,
     /// always non-zero).
     pub fn fetch_mask(&self) -> u32 {
@@ -351,6 +378,16 @@ impl Campaign {
     /// Compact human description (for logs and `ERR` cell details).
     pub fn describe(&self) -> String {
         format!("campaign seed {:#x}: {} fault(s) scheduled", self.seed, self.plans.len())
+    }
+
+    /// Restore per-plan fired flags and the shared fired counter from a
+    /// checkpoint: plans marked fired will not re-inject, and
+    /// [`Campaign::fired_count`] resumes from the snapshot's value.
+    pub fn restore_fired(&mut self, fired_flags: &[bool], fired_count: u64) {
+        for (plan, &fired) in self.plans.iter_mut().zip(fired_flags) {
+            plan.set_fired(fired);
+        }
+        self.fired.store(fired_count, Ordering::SeqCst);
     }
 }
 
@@ -564,6 +601,44 @@ mod tests {
         let mut st = CpuState::new();
         assert!(live.before_step(&mut st, 0).is_err());
         assert_eq!(campaign.fired_count(), 1);
+    }
+
+    #[test]
+    fn fired_by_matches_live_polling() {
+        // For each kind, drive a live plan through before_step and check
+        // fired_by(retired) agrees with the real fired flag at every
+        // checkpoint-eligible boundary.
+        for spec in ["trap@3", "fetch@3:0x1", "read@2:0"] {
+            let mut live = FaultPlan::parse(spec).unwrap();
+            let reference = FaultPlan::parse(spec).unwrap();
+            for retired in 0..6u64 {
+                assert_eq!(
+                    reference.fired_by(retired),
+                    live.fired(),
+                    "{spec}: divergence before poll at retired={retired}"
+                );
+                let mut st = CpuState::new();
+                st.pc = 0x1000;
+                st.mem.write_u32(0x1000, 0).unwrap();
+                let _ = live.before_step(&mut st, retired);
+            }
+        }
+    }
+
+    #[test]
+    fn restore_fired_suppresses_reinjection() {
+        let mut campaign = Campaign::from_plans(
+            vec![FaultPlan::parse("trap@1").unwrap(), FaultPlan::parse("trap@5").unwrap()],
+            0,
+        );
+        campaign.restore_fired(&[true, false], 1);
+        assert_eq!(campaign.fired_count(), 1);
+        let mut st = CpuState::new();
+        // trap@1 is marked fired: polling at retired=1 must NOT abort.
+        assert!(campaign.before_step(&mut st, 1).is_ok());
+        // trap@5 is still live.
+        assert!(campaign.before_step(&mut st, 5).is_err());
+        assert_eq!(campaign.fired_count(), 2);
     }
 
     #[test]

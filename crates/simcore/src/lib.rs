@@ -39,7 +39,9 @@
 //! assert_eq!(count.retired, 1);
 //! ```
 
+pub mod checkpoint;
 pub mod core;
+pub mod durable;
 pub mod elf;
 pub mod error;
 pub mod fault;
@@ -51,10 +53,12 @@ pub mod program;
 pub mod regid;
 pub mod retire;
 pub mod sample;
+pub mod shutdown;
 pub mod source;
 pub mod state;
 
-pub use crate::core::{host_mips, EmulationCore, IsaExecutor, RunStats};
+pub use crate::checkpoint::{CampaignState, Checkpoint, CheckpointError, TraceMark};
+pub use crate::core::{host_mips, EmulationCore, IsaExecutor, RunStats, StopReason};
 pub use crate::phase::{Phase, PhaseNanos};
 pub use crate::sample::{Sample, SampleSnapshot};
 pub use crate::error::SimError;

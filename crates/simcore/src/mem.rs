@@ -219,6 +219,47 @@ impl Memory {
     pub fn write_f64(&mut self, addr: u64, v: f64) -> Result<(), SimError> {
         self.write_u64(addr, v.to_bits())
     }
+
+    // --- checkpoint support -------------------------------------------------
+
+    /// Mapped pages as `(page_index, bytes)` in ascending index order — the
+    /// canonical iteration a checkpoint serializes, so identical memory
+    /// images always produce identical snapshot bytes regardless of
+    /// `HashMap` iteration order.
+    pub fn pages_sorted(&self) -> Vec<(u64, &[u8; PAGE_SIZE])> {
+        let mut pages: Vec<(u64, &[u8; PAGE_SIZE])> =
+            self.pages.iter().map(|(idx, p)| (*idx, &**p)).collect();
+        pages.sort_unstable_by_key(|(idx, _)| *idx);
+        pages
+    }
+
+    /// Install one full page at `page_index` (restore path). Replaces any
+    /// existing page.
+    pub fn install_page(&mut self, page_index: u64, bytes: [u8; PAGE_SIZE]) {
+        self.pages.insert(page_index, Box::new(bytes));
+    }
+
+    /// Snapshot the armed read-fault state as `(remaining, bit, fired)`
+    /// triples, in arming order.
+    pub fn read_fault_state(&self) -> Vec<(u64, u32, bool)> {
+        self.read_faults
+            .iter()
+            .map(|f| (f.remaining.get(), f.bit, f.fired.get()))
+            .collect()
+    }
+
+    /// Replace the armed read-fault state with a previously captured
+    /// snapshot (restore path).
+    pub fn restore_read_faults(&mut self, faults: &[(u64, u32, bool)]) {
+        self.read_faults = faults
+            .iter()
+            .map(|&(remaining, bit, fired)| ReadFault {
+                remaining: Cell::new(remaining),
+                bit,
+                fired: Cell::new(fired),
+            })
+            .collect();
+    }
 }
 
 #[cfg(test)]
@@ -316,6 +357,31 @@ mod tests {
         m.write_u8(0x10, 0).unwrap();
         m.arm_read_fault(1, 35); // 35 % 8 = bit 3 for a byte read
         assert_eq!(m.read_u8(0x10).unwrap(), 1 << 3);
+    }
+
+    #[test]
+    fn page_and_fault_snapshots_round_trip() {
+        let mut m = Memory::new();
+        m.write_u64(0x1000, 0xAAAA).unwrap();
+        m.write_u64(0x9000, 0xBBBB).unwrap();
+        m.arm_read_fault(3, 7);
+        let _ = m.read_u64(0x1000); // consume one read: remaining 2 -> 1
+        let pages = m.pages_sorted();
+        assert_eq!(pages.len(), 2);
+        assert!(pages[0].0 < pages[1].0, "pages come back sorted");
+        let faults = m.read_fault_state();
+        assert_eq!(faults, vec![(1, 7, false)]);
+
+        let mut back = Memory::new();
+        for (idx, bytes) in pages {
+            back.install_page(idx, *bytes);
+        }
+        back.restore_read_faults(&faults);
+        // Every sized read counts: this one consumes the last remaining
+        // slot, the next fires, later reads are clean (one-shot).
+        assert_eq!(back.read_u64(0x9000).unwrap(), 0xBBBB);
+        assert_eq!(back.read_u64(0x1000).unwrap(), 0xAAAA ^ (1 << 7));
+        assert_eq!(back.read_u64(0x1000).unwrap(), 0xAAAA);
     }
 
     #[test]

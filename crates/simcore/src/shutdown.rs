@@ -1,0 +1,113 @@
+//! Graceful-shutdown flag: a process-wide "please stop" bit set from
+//! SIGINT/SIGTERM and polled at safe points (the retire loop's masked
+//! check, the matrix worker pool's claim loop).
+//!
+//! The container has no crates.io access, so instead of the `signal-hook`
+//! or `ctrlc` crates this is a minimal std-only FFI shim over `signal(2)`,
+//! which libc always provides and std always links on Unix. The handler
+//! does the only async-signal-safe thing possible: store into a static
+//! `AtomicBool`. Everything else — checkpointing, partial-matrix flushes,
+//! exit codes — happens at the next poll point on a normal thread.
+//!
+//! On non-Unix targets [`install`] is a no-op returning `false`; the flag
+//! can still be set programmatically via [`request`] (which is also how
+//! tests drive the interruption paths deterministically).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// The process-wide shutdown request flag.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// Conventional exit status for a run ended by SIGINT/SIGTERM (128 + 2).
+pub const EXIT_INTERRUPTED: i32 = 130;
+
+#[cfg(unix)]
+mod sys {
+    use std::sync::atomic::Ordering;
+
+    pub const SIGINT: i32 = 2;
+    pub const SIGTERM: i32 = 15;
+
+    extern "C" {
+        // `signal(2)` from libc, which std links unconditionally on Unix.
+        // Semantics we rely on: one handler per signal, handler stays
+        // installed (glibc/musl give BSD semantics), returns SIG_ERR
+        // (usize::MAX as a pointer) on failure.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    const SIG_ERR: usize = usize::MAX;
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only async-signal-safe operation: a relaxed atomic store.
+        super::SHUTDOWN.store(true, Ordering::Relaxed);
+    }
+
+    pub fn install() -> bool {
+        let handler = on_signal as extern "C" fn(i32) as *const () as usize;
+        let a = unsafe { signal(SIGINT, handler) };
+        let b = unsafe { signal(SIGTERM, handler) };
+        a != SIG_ERR && b != SIG_ERR
+    }
+}
+
+/// Install the SIGINT/SIGTERM handler. Returns `true` when both handlers
+/// were installed (always `false` on non-Unix, where only [`request`] can
+/// set the flag). Safe to call more than once.
+pub fn install() -> bool {
+    #[cfg(unix)]
+    {
+        sys::install()
+    }
+    #[cfg(not(unix))]
+    {
+        false
+    }
+}
+
+/// Has a shutdown been requested (by signal or [`request`])?
+#[inline]
+pub fn requested() -> bool {
+    SHUTDOWN.load(Ordering::Relaxed)
+}
+
+/// Programmatically request a shutdown — what the signal handler does,
+/// callable from tests and from orchestration code that wants to stop
+/// sibling workers.
+pub fn request() {
+    SHUTDOWN.store(true, Ordering::Relaxed);
+}
+
+/// Clear the flag. For tests and for long-lived processes that survive an
+/// orderly interruption (the CLI bins exit instead).
+pub fn reset() {
+    SHUTDOWN.store(false, Ordering::Relaxed);
+}
+
+/// Serializes in-crate tests that toggle the process-wide flag, so they
+/// cannot race each other under the parallel test runner.
+#[cfg(test)]
+pub(crate) static TEST_FLAG_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_sets_and_reset_clears() {
+        let _guard = TEST_FLAG_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        reset();
+        assert!(!requested());
+        request();
+        assert!(requested());
+        reset();
+        assert!(!requested());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn install_succeeds_on_unix() {
+        assert!(install());
+        reset();
+    }
+}

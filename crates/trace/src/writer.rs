@@ -48,6 +48,53 @@ impl TraceWriter<io::BufWriter<std::fs::File>> {
         let file = std::fs::File::create(path)?;
         TraceWriter::new(io::BufWriter::new(file), meta)
     }
+
+    /// Reopen a partial capture to continue it (checkpoint-restore path).
+    ///
+    /// The file is truncated to `bytes` — the flushed-block boundary a
+    /// checkpoint's trace mark recorded — and the writer resumes with its
+    /// `records`/`blocks`/`bytes` counters restored, an empty open block,
+    /// and fresh per-block delta bases (which is exactly the state an
+    /// uninterrupted writer has at a block boundary). The continuation is
+    /// therefore byte-identical to a capture that never stopped.
+    pub fn resume(path: &Path, records: u64, blocks: u64, bytes: u64) -> io::Result<Self> {
+        use std::io::Seek;
+        let file = std::fs::OpenOptions::new().read(true).write(true).open(path)?;
+        let on_disk = file.metadata()?.len();
+        if on_disk < bytes {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!("trace file is {on_disk} bytes, checkpoint expects at least {bytes}"),
+            ));
+        }
+        file.set_len(bytes)?;
+        let mut out = io::BufWriter::new(file);
+        out.seek(io::SeekFrom::End(0))?;
+        Ok(TraceWriter {
+            out,
+            payload: Vec::with_capacity(BLOCK_RECORDS * 8),
+            n_in_block: 0,
+            first_pc: 0,
+            prev_pc: 0,
+            prev_addr: 0,
+            records,
+            blocks,
+            bytes,
+            error: None,
+        })
+    }
+
+    /// Flush buffered bytes and `fdatasync` the file, so everything
+    /// flushed so far (the blocks a checkpoint's trace mark points at)
+    /// survives a SIGKILL. Called when a checkpoint is written.
+    pub fn sync_all(&mut self) -> io::Result<()> {
+        if let Some(e) = self.error.take() {
+            self.error = Some(io::Error::new(e.kind(), e.to_string()));
+            return Err(e);
+        }
+        self.out.flush()?;
+        self.out.get_ref().sync_data()
+    }
 }
 
 impl TraceWriter<io::Sink> {
@@ -84,6 +131,11 @@ impl<W: Write> TraceWriter<W> {
     /// Records written so far.
     pub fn records(&self) -> u64 {
         self.records
+    }
+
+    /// Blocks written so far.
+    pub fn blocks(&self) -> u64 {
+        self.blocks
     }
 
     /// Bytes written so far (flushed blocks only).
@@ -243,6 +295,55 @@ mod tests {
         }
         assert_eq!(w.records(), 0, "no records accepted after an error");
         assert!(w.finish(0, std::time::Duration::ZERO).is_err());
+    }
+
+    #[test]
+    fn resumed_capture_is_byte_identical_to_uninterrupted() {
+        let dir = std::env::temp_dir().join(format!("isacmp-trace-resume-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let straight = dir.join("straight.trace");
+        let resumed = dir.join("resumed.trace");
+        let ri = |i: u64| RetiredInst::new(0x1000 + i * 4, simcore::InstGroup::IntAlu);
+        let total = BLOCK_RECORDS as u64 * 3 + 17;
+        let cut = BLOCK_RECORDS as u64 * 2; // a flushed-block boundary
+
+        let mut w = TraceWriter::create(&straight, &meta()).unwrap();
+        for i in 0..total {
+            w.on_retire(&ri(i));
+        }
+        let want = w.finish(42, std::time::Duration::ZERO).unwrap();
+
+        let mut w = TraceWriter::create(&resumed, &meta()).unwrap();
+        for i in 0..cut {
+            w.on_retire(&ri(i));
+        }
+        w.sync_all().unwrap();
+        let (records, blocks, bytes) = (w.records(), w.blocks(), w.bytes_written());
+        assert_eq!(records, cut, "cut lands on a block boundary: nothing pending");
+        drop(w); // simulate the process dying after the checkpoint
+        let mut w = TraceWriter::resume(&resumed, records, blocks, bytes).unwrap();
+        for i in cut..total {
+            w.on_retire(&ri(i));
+        }
+        let got = w.finish(42, std::time::Duration::ZERO).unwrap();
+
+        assert_eq!(got, want, "summaries must agree");
+        let a = std::fs::read(&straight).unwrap();
+        let b = std::fs::read(&resumed).unwrap();
+        assert_eq!(a, b, "resumed capture must be byte-identical");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_rejects_a_file_shorter_than_the_mark() {
+        let dir = std::env::temp_dir().join(format!("isacmp-trace-short-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("short.trace");
+        let w = TraceWriter::create(&path, &meta()).unwrap();
+        let bytes = w.bytes_written();
+        drop(w);
+        assert!(TraceWriter::resume(&path, 0, 0, bytes + 1000).is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
