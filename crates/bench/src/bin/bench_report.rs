@@ -5,12 +5,17 @@
 //! ```text
 //! bench_report [--size test|small|paper] [--runs N] [--threshold PCT]
 //!              [--history PATH] [--baseline PATH] [--strict]
-//!              [--mips-scale F]
+//!              [--mips-scale F] [--host-ghz F]
 //! ```
 //!
-//! The suite is pinned: all five workloads x {RISC-V, AArch64} x gcc-12.2,
-//! each cell emulated bare (no observers) `--runs` times with the best
-//! (highest-MIPS) run kept. The geomean of per-cell MIPS is the headline
+//! The suite is pinned: all five workloads x {RISC-V, AArch64} x gcc-12.2
+//! x {legacy, block} engines, each cell emulated bare (no observers)
+//! `--runs` times with the best (highest-MIPS) run kept. Per cell the
+//! report shows rvr-style normalized columns alongside raw wall time:
+//! host nanoseconds per guest op, host cycles per guest op (scaled by
+//! `--host-ghz`, default 3.0), and slowdown versus the host-native kernel
+//! (the same `KernelProgram` run through `kernelgen::interpret`). The
+//! geomean of per-cell MIPS over the *block*-engine rows is the headline
 //! number compared against the previous history entry; a drop larger than
 //! `--threshold` percent (default 20) is a regression. Report-only by
 //! default; `--strict` exits 4 on regression. Malformed history entries
@@ -22,10 +27,13 @@
 
 use std::path::PathBuf;
 use std::process::ExitCode;
-use std::time::{SystemTime, UNIX_EPOCH};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use isacmp::telemetry::Json;
-use isacmp::{compile, isa_label, try_execute, IsaKind, Personality, SizeClass, Workload};
+use isacmp::{
+    compile, interpret, isa_label, try_execute_engine, Compiled, Engine, IsaKind, Personality,
+    SizeClass, Workload,
+};
 
 /// History schema version written and accepted by this binary.
 const SCHEMA: u64 = 1;
@@ -33,6 +41,9 @@ const SCHEMA: u64 = 1;
 const DEFAULT_THRESHOLD_PCT: f64 = 20.0;
 /// Best-of-N runs per cell when `--runs` is not given.
 const DEFAULT_RUNS: u32 = 3;
+/// Assumed host clock for the cycles-per-op column when `--host-ghz` is
+/// not given.
+const DEFAULT_HOST_GHZ: f64 = 3.0;
 
 const EXIT_SCHEMA: u8 = 2;
 const EXIT_REGRESSION: u8 = 4;
@@ -45,12 +56,14 @@ struct Args {
     baseline: PathBuf,
     strict: bool,
     mips_scale: f64,
+    host_ghz: f64,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: bench_report [--size test|small|paper] [--runs N] [--threshold PCT]\n\
-         \x20                   [--history PATH] [--baseline PATH] [--strict] [--mips-scale F]"
+         \x20                   [--history PATH] [--baseline PATH] [--strict] [--mips-scale F]\n\
+         \x20                   [--host-ghz F]"
     );
     std::process::exit(1);
 }
@@ -64,6 +77,7 @@ fn parse_args() -> Args {
         baseline: PathBuf::from("BENCH_baseline.json"),
         strict: false,
         mips_scale: 1.0,
+        host_ghz: DEFAULT_HOST_GHZ,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -112,6 +126,16 @@ fn parse_args() -> Args {
                         usage()
                     })
             }
+            "--host-ghz" => {
+                args.host_ghz = value("--host-ghz")
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|g| g.is_finite() && *g > 0.0)
+                    .unwrap_or_else(|| {
+                        eprintln!("bench_report: --host-ghz needs a positive number");
+                        usage()
+                    })
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("bench_report: unknown flag {other:?}");
@@ -122,53 +146,82 @@ fn parse_args() -> Args {
     args
 }
 
-/// One measured suite cell: best-of-N bare emulation of a compiled kernel.
+/// One measured suite cell: best-of-N bare emulation of a compiled kernel
+/// on one retire engine, with rvr-style normalized columns.
 struct CellResult {
     workload: &'static str,
     isa: &'static str,
     compiler: &'static str,
+    engine: Engine,
     retired: u64,
     wall_ms: f64,
     mips: f64,
+    /// Host nanoseconds burned per retired guest instruction.
+    host_ns_per_op: f64,
+    /// `host_ns_per_op` scaled by the assumed host clock (`--host-ghz`).
+    host_cycles_per_op: f64,
+    /// Emulated wall over the host-native (`kernelgen::interpret`) wall
+    /// for the same kernel; `None` when the native run was too fast to
+    /// time at this size class.
+    overhead_vs_native: Option<f64>,
 }
 
 impl CellResult {
     fn label(&self) -> String {
-        format!("{}/{}/{}", self.workload, self.isa, self.compiler)
+        format!("{}/{}/{}/{}", self.workload, self.isa, self.compiler, self.engine)
     }
 
     fn to_json(&self) -> Json {
-        Json::obj(vec![
+        let mut fields = vec![
             ("cell", Json::Str(self.label())),
+            ("engine", Json::Str(self.engine.name().to_string())),
             ("retired", Json::Num(self.retired as f64)),
             ("wall_ms", Json::Num(self.wall_ms)),
             ("mips", Json::Num(self.mips)),
-        ])
+            ("host_ns_per_op", Json::Num(self.host_ns_per_op)),
+            ("host_cycles_per_op", Json::Num(self.host_cycles_per_op)),
+        ];
+        if let Some(x) = self.overhead_vs_native {
+            fields.push(("overhead_vs_native", Json::Num(x)));
+        }
+        Json::obj(fields)
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn measure_cell(
     workload: Workload,
     isa: IsaKind,
+    compiled: &Compiled,
     personality: &Personality,
-    size: SizeClass,
+    engine: Engine,
+    native_wall: Duration,
     runs: u32,
     mips_scale: f64,
+    host_ghz: f64,
 ) -> Result<CellResult, String> {
-    let compiled = compile(&workload.build(size), isa, personality);
     let mut best: Option<CellResult> = None;
     for _ in 0..runs {
-        let (_, stats) = try_execute(&compiled, &mut [], None, None)
-            .map_err(|e| format!("{}/{}: {e}", workload.name(), isa_label(isa)))?;
+        let (_, stats) = try_execute_engine(compiled, &mut [], None, None, engine)
+            .map_err(|e| format!("{}/{}/{engine}: {e}", workload.name(), isa_label(isa)))?;
         let mips = stats.host_mips() * mips_scale;
         if best.as_ref().is_none_or(|b| mips > b.mips) {
+            let wall_ns = stats.wall.as_secs_f64() * 1e9;
+            let host_ns_per_op =
+                if stats.retired > 0 { wall_ns / stats.retired as f64 } else { 0.0 };
+            let native_s = native_wall.as_secs_f64();
             best = Some(CellResult {
                 workload: workload.name(),
                 isa: isa_label(isa),
                 compiler: personality.label(),
+                engine,
                 retired: stats.retired,
                 wall_ms: stats.wall.as_secs_f64() * 1e3,
                 mips,
+                host_ns_per_op,
+                host_cycles_per_op: host_ns_per_op * host_ghz,
+                overhead_vs_native: (native_s > 0.0)
+                    .then(|| stats.wall.as_secs_f64() / native_s),
             });
         }
     }
@@ -252,45 +305,86 @@ fn main() -> ExitCode {
         .iter()
         .flat_map(|w| [(*w, IsaKind::RiscV), (*w, IsaKind::AArch64)])
         .collect();
+    const ENGINES: [Engine; 2] = [Engine::Legacy, Engine::Block];
 
     println!(
-        "bench_report: {} cells x best-of-{} @ size {}",
-        suite.len(),
+        "bench_report: {} cells x best-of-{} @ size {} (host clock {:.1} GHz)",
+        suite.len() * ENGINES.len(),
         args.runs,
-        args.size.name()
+        args.size.name(),
+        args.host_ghz
     );
-    let mut cells = Vec::with_capacity(suite.len());
+    println!(
+        "  {:<34} {:>12}  {:>9}  {:>8}  {:>8}  {:>8}  {:>9}",
+        "cell", "retired", "wall ms", "MIPS", "ns/op", "cyc/op", "vs native"
+    );
+    let mut cells = Vec::with_capacity(suite.len() * ENGINES.len());
     for (workload, isa) in suite {
-        match measure_cell(workload, isa, &personality, args.size, args.runs, args.mips_scale) {
-            Ok(cell) => {
-                println!(
-                    "  {:<28} {:>12} retired  {:>9.2} ms  {:>8.2} MIPS",
-                    cell.label(),
-                    cell.retired,
-                    cell.wall_ms,
-                    cell.mips
-                );
-                cells.push(cell);
-            }
-            Err(e) => {
-                eprintln!("bench_report: cell failed: {e}");
-                return ExitCode::FAILURE;
+        let prog = workload.build(args.size);
+        let compiled = compile(&prog, isa, &personality);
+        // Host-native reference: the same kernel run straight through the
+        // interpreter, no guest ISA involved.
+        let native_start = Instant::now();
+        let _ = interpret(&prog, &personality);
+        let native_wall = native_start.elapsed();
+        for engine in ENGINES {
+            match measure_cell(
+                workload,
+                isa,
+                &compiled,
+                &personality,
+                engine,
+                native_wall,
+                args.runs,
+                args.mips_scale,
+                args.host_ghz,
+            ) {
+                Ok(cell) => {
+                    let vs_native = cell
+                        .overhead_vs_native
+                        .map_or_else(|| "-".to_string(), |x| format!("{x:.1}x"));
+                    println!(
+                        "  {:<34} {:>12}  {:>9.2}  {:>8.2}  {:>8.1}  {:>8.1}  {:>9}",
+                        cell.label(),
+                        cell.retired,
+                        cell.wall_ms,
+                        cell.mips,
+                        cell.host_ns_per_op,
+                        cell.host_cycles_per_op,
+                        vs_native
+                    );
+                    cells.push(cell);
+                }
+                Err(e) => {
+                    eprintln!("bench_report: cell failed: {e}");
+                    return ExitCode::FAILURE;
+                }
             }
         }
     }
 
-    let geomean_mips = geomean(cells.iter().map(|c| c.mips));
+    // The block engine is the default retire loop, so it carries the
+    // headline (and trajectory-compared) geomean; the legacy geomean is
+    // recorded alongside for A/B context.
+    let geomean_mips = geomean(cells.iter().filter(|c| c.engine == Engine::Block).map(|c| c.mips));
+    let geomean_mips_legacy =
+        geomean(cells.iter().filter(|c| c.engine == Engine::Legacy).map(|c| c.mips));
     let total_retired: u64 = cells.iter().map(|c| c.retired).sum();
     let timestamp =
         SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0);
-    println!("  geomean {geomean_mips:.2} MIPS | {total_retired} instructions retired");
+    println!(
+        "  geomean {geomean_mips:.2} MIPS (block) | {geomean_mips_legacy:.2} MIPS (legacy) | \
+         {total_retired} instructions retired"
+    );
 
     let entry = Json::obj(vec![
         ("schema", Json::Num(SCHEMA as f64)),
         ("timestamp", Json::Num(timestamp as f64)),
         ("size", Json::Str(args.size.name().to_string())),
         ("runs", Json::Num(args.runs as f64)),
+        ("host_ghz", Json::Num(args.host_ghz)),
         ("geomean_mips", Json::Num(geomean_mips)),
+        ("geomean_mips_legacy", Json::Num(geomean_mips_legacy)),
         ("total_retired", Json::Num(total_retired as f64)),
         ("cells", Json::Arr(cells.iter().map(CellResult::to_json).collect())),
     ]);

@@ -23,6 +23,9 @@
 //! - `--deadline-secs <s>`: per-cell wall-clock watchdog.
 //! - `--retries <n>`: per-cell retries for retryable failures (default 1,
 //!   hard-capped at 3).
+//! - `--engine <legacy|block>`: retire loop for every cell (default
+//!   `block`, the pre-decoded basic-block engine; both produce identical
+//!   tables — see `tests/engine_differential.rs`).
 //! - `--inject <workload/compiler/isa:fault>`: deterministically inject a
 //!   fault into matching cells, e.g. `STREAM/gcc-12.2/RISC-V:trap@1000`
 //!   (fault grammar: `trap@N`, `fetch@N[:MASK]`, `read@N[:BIT]`).
@@ -64,7 +67,7 @@ use isacmp::{
     compile, continue_matrix, durable, read_journal, resume_matrix_journaled, run_cell,
     run_matrix_journaled, run_matrix_opts, run_pipeline, run_pipeline_full, shutdown,
     CacheConfig, CampaignManifest, CampaignSpec, CellJournal, ExperimentCell, InjectSpec,
-    IsaKind, JournalContents, MatrixOptions, Personality, PipelineConfig, ResultMatrix,
+    Engine, IsaKind, JournalContents, MatrixOptions, Personality, PipelineConfig, ResultMatrix,
     SizeClass, Workload,
 };
 
@@ -151,6 +154,13 @@ fn parse_matrix_opts(args: &[String]) -> (MatrixOptions, Option<CampaignManifest
     // deadline is armed.
     let checkpoint_dir =
         deadline.map(|_| std::path::PathBuf::from("results/snapshots"));
+    let engine = match parse_flag_value(args, "--engine") {
+        Some(s) => s.parse().unwrap_or_else(|e| {
+            eprintln!("bad --engine value: {e}");
+            std::process::exit(2);
+        }),
+        None => Engine::default(),
+    };
     let opts = MatrixOptions {
         deadline,
         retries,
@@ -159,6 +169,7 @@ fn parse_matrix_opts(args: &[String]) -> (MatrixOptions, Option<CampaignManifest
         trace_dir,
         heed_shutdown: true,
         checkpoint_dir,
+        engine,
     };
     (opts, campaign_manifest)
 }

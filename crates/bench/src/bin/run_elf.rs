@@ -38,6 +38,8 @@
 //!   and on a watchdog trip; add `--checkpoint-every <N>` to also write
 //!   one every ~N retirements (rounded up to the retire loop's masked
 //!   check interval, so snapshots land on trace-block boundaries).
+//! - `--engine <legacy|block>`: retire loop (default `block`, the
+//!   pre-decoded basic-block engine; byte-identical outputs either way).
 //! - `--restore <path>`: resume from a snapshot. Mutually exclusive with
 //!   `--inject`/`--campaign` — the armed fault schedule, fired flags and
 //!   partial-trace position all come from the checkpoint. A restored run
@@ -50,7 +52,7 @@
 use isacmp::telemetry::sampler::Sampler;
 use isacmp::{
     shutdown, AArch64Executor, Campaign, CampaignSpec, Checkpoint, CpuState, DualCriticalPath,
-    EmulationCore, FaultInjector, FaultPlan, IsaKind, Observer, PathLength, PhaseNanos, Program,
+    EmulationCore, Engine, FaultInjector, FaultPlan, IsaKind, Observer, PathLength, PhaseNanos, Program,
     ProfilingObserver, RiscVExecutor, RunReport, RunStats, SimError, StopReason, TraceMark,
     TraceMeta, TraceReader, TraceWriter, Tx2Latency, WindowedCp, DEFAULT_CAMPAIGN_WINDOW,
     DEFAULT_FAULT_SEED,
@@ -84,6 +86,7 @@ struct Args {
     checkpoint: Option<String>,
     checkpoint_every: Option<u64>,
     restore: Option<String>,
+    engine: Engine,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -100,6 +103,7 @@ fn parse_args() -> Result<Args, String> {
     let mut checkpoint = None;
     let mut checkpoint_every = None;
     let mut restore = None;
+    let mut engine = Engine::default();
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         if a == "--metrics" {
@@ -139,6 +143,9 @@ fn parse_args() -> Result<Args, String> {
                 Some(n.parse::<u64>().map_err(|_| format!("bad --checkpoint-every value {n:?}"))?);
         } else if a == "--restore" {
             restore = Some(it.next().ok_or("--restore needs a checkpoint path")?);
+        } else if a == "--engine" {
+            let s = it.next().ok_or("--engine needs legacy|block")?;
+            engine = s.parse()?;
         } else if a.starts_with("--") {
             return Err(format!("unknown flag {a:?}"));
         } else if elf.is_none() {
@@ -165,7 +172,8 @@ fn parse_args() -> Result<Args, String> {
             "usage: run_elf <binary.elf> [--metrics out.json] [--trace-out out.trace] \
              [--spans-out out.folded] [--sample[=PERIOD_US]] [--events out.jsonl] \
              [--progress[=N]] [--deadline-secs s] [--inject fault] [--campaign seed:n] \
-             [--checkpoint out.ckpt [--checkpoint-every N]] [--restore in.ckpt]",
+             [--checkpoint out.ckpt [--checkpoint-every N]] [--restore in.ckpt] \
+             [--engine legacy|block]",
         )?,
         metrics,
         trace_out,
@@ -179,6 +187,7 @@ fn parse_args() -> Result<Args, String> {
         checkpoint,
         checkpoint_every,
         restore,
+        engine,
     })
 }
 
@@ -194,6 +203,7 @@ fn run_segment(
     sample: Option<Arc<SampleSnapshot>>,
     checkpoint_every: Option<u64>,
     heed_shutdown: bool,
+    engine: Engine,
 ) -> Result<RunStats, SimError> {
     fn core_for<E: isacmp::IsaExecutor>(
         exec: E,
@@ -202,8 +212,9 @@ fn run_segment(
         sample: Option<Arc<SampleSnapshot>>,
         checkpoint_every: Option<u64>,
         heed_shutdown: bool,
+        engine: Engine,
     ) -> EmulationCore<E> {
-        let mut core = EmulationCore::new(exec);
+        let mut core = EmulationCore::new(exec).with_engine(engine);
         if let Some(d) = deadline {
             core = core.with_deadline(d);
         }
@@ -229,6 +240,7 @@ fn run_segment(
             sample,
             checkpoint_every,
             heed_shutdown,
+            engine,
         )
         .run(st, obs),
         IsaKind::AArch64 => core_for(
@@ -238,6 +250,7 @@ fn run_segment(
             sample,
             checkpoint_every,
             heed_shutdown,
+            engine,
         )
         .run(st, obs),
     }
@@ -510,6 +523,7 @@ fn main() {
                 snapshot.clone(),
                 args.checkpoint_every,
                 checkpointing,
+                args.engine,
             )
         };
         match seg {
@@ -634,7 +648,7 @@ fn main() {
         let bare_run = |obs: &mut Vec<&mut dyn Observer>| {
             let mut st = CpuState::new();
             program.load(&mut st).ok()?;
-            run_segment(program.isa, &mut st, obs, None, None, None, None, false)
+            run_segment(program.isa, &mut st, obs, None, None, None, None, false, args.engine)
                 .ok()
                 .map(|s| s.wall)
         };

@@ -57,8 +57,10 @@ fn bench_report_builds_a_trajectory_and_flags_regressions() {
         assert_eq!(e.get("schema").and_then(Json::as_u64), Some(1));
         assert_eq!(e.get("size").and_then(Json::as_str), Some("test"));
         assert!(e.get("geomean_mips").and_then(Json::as_f64).unwrap() > 0.0);
-        // The pinned suite: 5 workloads x 2 ISAs at gcc-12.2.
-        assert_eq!(e.get("cells").and_then(Json::as_arr).map(<[Json]>::len), Some(10));
+        // The pinned suite: 5 workloads x 2 ISAs at gcc-12.2, each
+        // timed on both retire engines.
+        assert_eq!(e.get("cells").and_then(Json::as_arr).map(<[Json]>::len), Some(20));
+        assert!(e.get("geomean_mips_legacy").and_then(Json::as_f64).unwrap() > 0.0);
     }
 
     // The baseline is the pretty-printed latest entry.

@@ -12,7 +12,7 @@
 use std::time::Duration;
 
 use analysis::CellFailure;
-use simcore::{Campaign, FaultPlan, SimError, DEFAULT_FAULT_SEED};
+use simcore::{Campaign, Engine, FaultPlan, SimError, DEFAULT_FAULT_SEED};
 
 /// Why one (workload, compiler, ISA) cell failed.
 #[derive(Debug, Clone, PartialEq)]
@@ -179,6 +179,9 @@ pub struct CellOptions {
     /// deadline, its machine state is checkpointed here (one `.ckpt` per
     /// cell label) before the `ERR(timeout)` is recorded.
     pub checkpoint_dir: Option<std::path::PathBuf>,
+    /// Retire loop to drive ([`Engine::Block`] by default; see
+    /// [`simcore::Engine`] for when a block run degrades to legacy).
+    pub engine: Engine,
 }
 
 impl CellOptions {
@@ -284,6 +287,8 @@ pub struct MatrixOptions {
     /// Directory for resumable watchdog snapshots (see
     /// [`CellOptions::checkpoint_dir`]).
     pub checkpoint_dir: Option<std::path::PathBuf>,
+    /// Retire loop driven in every cell (see [`CellOptions::engine`]).
+    pub engine: Engine,
 }
 
 impl MatrixOptions {
@@ -301,6 +306,7 @@ impl MatrixOptions {
             trace_dir: self.trace_dir.clone(),
             heed_shutdown: self.heed_shutdown,
             checkpoint_dir: self.checkpoint_dir.clone(),
+            engine: self.engine,
         }
     }
 }

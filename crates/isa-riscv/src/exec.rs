@@ -11,6 +11,7 @@
 //! chains naturally break through it.
 
 use std::cell::RefCell;
+use std::rc::Rc;
 
 use simcore::phase::{self, Phase};
 use simcore::{CpuState, InstGroup, IsaExecutor, RegId, RetiredInst, SimError, WordMap};
@@ -18,16 +19,90 @@ use simcore::{CpuState, InstGroup, IsaExecutor, RegId, RetiredInst, SimError, Wo
 use crate::decode::decode;
 use crate::inst::*;
 
-/// RV64G executor with a per-instance decode cache.
+/// Longest straight-line run pre-decoded into one block. Bounds both the
+/// work a single cache miss performs and how far past a hot loop's entry
+/// the builder speculatively decodes.
+const MAX_BLOCK_LEN: usize = 64;
+
+/// A pre-decoded basic block: the straight-line instruction run starting
+/// at `start`, ending at the first control-flow terminator (or the length
+/// cap / first undecodable word, whichever comes sooner). Instruction `i`
+/// sits at `start + 4*i`; only the final instruction can redirect the PC,
+/// so execution inside a block is purely sequential.
+struct Block {
+    start: u64,
+    insts: Vec<Inst>,
+}
+
+/// Whether `inst` ends a basic block: anything that can change control
+/// flow (or end the run) — jumps, branches, and the trap instructions.
+fn ends_block(inst: &Inst) -> bool {
+    matches!(
+        inst,
+        Inst::Jal { .. }
+            | Inst::Jalr { .. }
+            | Inst::Branch { .. }
+            | Inst::Ecall
+            | Inst::Ebreak
+    )
+}
+
+/// RV64G executor with a per-instance decode cache and a pre-decoded
+/// basic-block cache (used by the core's block engine).
 #[derive(Default)]
 pub struct RiscVExecutor {
     cache: RefCell<WordMap<Inst>>,
+    blocks: RefCell<WordMap<Rc<Block>>>,
 }
 
 impl RiscVExecutor {
     /// Create a fresh executor.
     pub fn new() -> Self {
         RiscVExecutor::default()
+    }
+
+    /// Look up (or build and cache) the block starting at `pc`. `None`
+    /// when no block can start there — misaligned PC, unreadable or
+    /// undecodable first word — in which case the per-instruction path
+    /// must produce the exact fault. Build failures are never cached:
+    /// memory may be remapped or repaired before the PC is reached again.
+    fn block_at(&self, state: &CpuState, pc: u64) -> Option<Rc<Block>> {
+        if pc & 3 != 0 {
+            return None;
+        }
+        if let Some(b) = self.blocks.borrow().get(&pc) {
+            return Some(Rc::clone(b));
+        }
+        let mut insts = Vec::new();
+        let mut cur = pc;
+        loop {
+            let word = {
+                let _t = phase::scoped(Phase::Fetch);
+                match state.mem.read_u32(cur) {
+                    Ok(w) => w,
+                    Err(_) => break,
+                }
+            };
+            let inst = {
+                let _t = phase::scoped(Phase::Decode);
+                match decode(word) {
+                    Ok(i) => i,
+                    Err(_) => break,
+                }
+            };
+            let done = ends_block(&inst);
+            insts.push(inst);
+            if done || insts.len() == MAX_BLOCK_LEN {
+                break;
+            }
+            cur = cur.wrapping_add(4);
+        }
+        if insts.is_empty() {
+            return None;
+        }
+        let b = Rc::new(Block { start: pc, insts });
+        self.blocks.borrow_mut().insert(pc, Rc::clone(&b));
+        Some(b)
     }
 }
 
@@ -263,6 +338,61 @@ impl IsaExecutor for RiscVExecutor {
 
     fn flush_decode_cache(&self) {
         self.cache.borrow_mut().clear();
+        self.blocks.borrow_mut().clear();
+    }
+
+    fn supports_blocks(&self) -> bool {
+        true
+    }
+
+    fn run_block(
+        &self,
+        state: &mut CpuState,
+        fuel: u64,
+        mut sink: Option<&mut dyn FnMut(&RetiredInst)>,
+    ) -> (u64, Option<SimError>) {
+        let mut done = 0u64;
+        while done < fuel && state.exited.is_none() {
+            let block = match self.block_at(state, state.pc) {
+                Some(b) => b,
+                None => {
+                    // No block can start here; the per-instruction path
+                    // raises the exact architectural fault (misaligned PC,
+                    // unmapped fetch, undecodable word).
+                    match self.step(state) {
+                        Ok(ri) => {
+                            done += 1;
+                            if let Some(s) = sink.as_mut() {
+                                s(&ri);
+                            }
+                            continue;
+                        }
+                        Err(e) => return (done, Some(e)),
+                    }
+                }
+            };
+            // A block never straddles the fuel boundary: execute only the
+            // prefix that fits, and the next call re-enters mid-block (the
+            // remainder is itself a valid block keyed by its start PC).
+            let take = (block.insts.len() as u64).min(fuel - done) as usize;
+            for (i, inst) in block.insts[..take].iter().enumerate() {
+                let ipc = block.start.wrapping_add(4 * i as u64);
+                let res = {
+                    let _t = phase::scoped(Phase::Execute);
+                    execute(inst, ipc, state)
+                };
+                match res {
+                    Ok(ri) => {
+                        done += 1;
+                        if let Some(s) = sink.as_mut() {
+                            s(&ri);
+                        }
+                    }
+                    Err(e) => return (done, Some(e)),
+                }
+            }
+        }
+        (done, None)
     }
 }
 

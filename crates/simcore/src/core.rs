@@ -24,6 +24,55 @@ pub fn host_mips(retired: u64, wall: Duration) -> f64 {
     }
 }
 
+/// Which retire loop [`EmulationCore::run`] drives.
+///
+/// Both engines retire the exact same architectural instruction stream —
+/// the differential conformance suite (`tests/engine_differential.rs`)
+/// holds them byte-identical on state hashes, traces and matrices — they
+/// differ only in how much per-retirement overhead the host pays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Engine {
+    /// The original per-instruction loop: one decode-cache lookup, one
+    /// boundary-check bundle and one observer dispatch per retirement.
+    Legacy,
+    /// The pre-decoded basic-block engine: guest code is decoded once into
+    /// cached blocks of micro-ops and retired in batches, with boundary
+    /// checks amortized over whole blocks. Falls back to [`Engine::Legacy`]
+    /// per run when the executor does not support blocks, a fault injector
+    /// is attached, or armed read faults are pending (block pre-decode
+    /// performs eager fetches that would perturb the nth-read count).
+    #[default]
+    Block,
+}
+
+impl Engine {
+    /// Stable lowercase name, matching [`Engine::from_str`].
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Legacy => "legacy",
+            Engine::Block => "block",
+        }
+    }
+}
+
+impl std::fmt::Display for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Engine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "legacy" => Ok(Engine::Legacy),
+            "block" => Ok(Engine::Block),
+            other => Err(format!("unknown engine '{other}' (expected legacy|block)")),
+        }
+    }
+}
+
 /// Implemented by each ISA back-end: fetch, decode and execute exactly one
 /// instruction, mutating `state` and describing what happened.
 pub trait IsaExecutor {
@@ -40,8 +89,82 @@ pub trait IsaExecutor {
 
     /// Drop any cached decodes. Called by the core after instruction memory
     /// is mutated behind the executor's back (fault injection); the default
-    /// suits executors that do not cache.
+    /// suits executors that do not cache. Block-building executors must
+    /// drop their block cache here too, not just per-instruction decodes.
     fn flush_decode_cache(&self) {}
+
+    /// Whether [`IsaExecutor::run_block`] is a real pre-decoded block
+    /// engine. The default (`false`) routes [`Engine::Block`] runs through
+    /// the legacy loop, so executors without block support stay correct.
+    fn supports_blocks(&self) -> bool {
+        false
+    }
+
+    /// Retire up to `fuel` instructions (block by block), stopping early if
+    /// the guest exits or an instruction faults. Returns how many retired
+    /// and the fault, if any; on a fault `state.pc` addresses the faulting
+    /// instruction, exactly as a failed [`IsaExecutor::step`] leaves it.
+    /// When `sink` is present it receives every retirement record in
+    /// program order (the observer slow path); when absent the engine may
+    /// skip materializing records entirely (the fast path).
+    ///
+    /// The default implementation steps one instruction at a time, which is
+    /// semantically exact but gains nothing; block engines override it.
+    fn run_block(
+        &self,
+        state: &mut CpuState,
+        fuel: u64,
+        mut sink: Option<&mut dyn FnMut(&RetiredInst)>,
+    ) -> (u64, Option<SimError>) {
+        let mut done = 0u64;
+        while done < fuel && state.exited.is_none() {
+            match self.step(state) {
+                Ok(ri) => {
+                    done += 1;
+                    if let Some(s) = sink.as_mut() {
+                        s(&ri);
+                    }
+                }
+                Err(e) => return (done, Some(e)),
+            }
+        }
+        (done, None)
+    }
+}
+
+/// Executors borrow-share cleanly: every trait method takes `&self`, so a
+/// shared reference is itself an executor. This lets one executor (and
+/// its decode/block caches) back several [`EmulationCore`]s in sequence —
+/// the shape cache-invalidation tests and multi-run drivers need.
+impl<E: IsaExecutor + ?Sized> IsaExecutor for &E {
+    fn step(&self, state: &mut CpuState) -> Result<RetiredInst, SimError> {
+        (**self).step(state)
+    }
+
+    fn disassemble(&self, word: u32) -> String {
+        (**self).disassemble(word)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn flush_decode_cache(&self) {
+        (**self).flush_decode_cache()
+    }
+
+    fn supports_blocks(&self) -> bool {
+        (**self).supports_blocks()
+    }
+
+    fn run_block(
+        &self,
+        state: &mut CpuState,
+        fuel: u64,
+        sink: Option<&mut dyn FnMut(&RetiredInst)>,
+    ) -> (u64, Option<SimError>) {
+        (**self).run_block(state, fuel, sink)
+    }
 }
 
 /// Why [`EmulationCore::run`] returned `Ok`.
@@ -124,6 +247,10 @@ pub struct EmulationCore<E: IsaExecutor> {
     /// with [`SimError::Interrupted`] when set. Off by default so library
     /// users and tests are unaffected by the process-wide flag.
     heed_shutdown: bool,
+    /// Which retire loop to drive (see [`Engine`]); [`Engine::Block`] by
+    /// default, degrading to the legacy loop whenever its preconditions
+    /// do not hold.
+    engine: Engine,
 }
 
 /// Default heartbeat interval when `ISACMP_PROGRESS` is set without a count.
@@ -161,7 +288,14 @@ impl<E: IsaExecutor> EmulationCore<E> {
             sample_mask: u64::MAX,
             checkpoint_every: u64::MAX,
             heed_shutdown: false,
+            engine: Engine::default(),
         }
+    }
+
+    /// Select the retire loop (defaults to [`Engine::Block`]).
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
     }
 
     /// Override the instruction budget.
@@ -241,6 +375,29 @@ impl<E: IsaExecutor> EmulationCore<E> {
     /// `state.pc` the faulting program counter, so callers can report how
     /// far the guest got.
     pub fn run(
+        &self,
+        state: &mut CpuState,
+        observers: &mut [&mut dyn Observer],
+    ) -> Result<RunStats, SimError> {
+        // The block engine runs only when its equivalence preconditions
+        // hold: the executor actually pre-decodes blocks, no injector needs
+        // a before-every-step hook, and no armed read fault could be
+        // miscounted by the block builder's eager fetches. Everything else
+        // degrades to the legacy loop, which is always exact.
+        if self.engine == Engine::Block
+            && self.exec.supports_blocks()
+            && self.injector.is_none()
+            && !state.mem.read_fault_pending()
+        {
+            self.run_blocks(state, observers)
+        } else {
+            self.run_legacy(state, observers)
+        }
+    }
+
+    /// The original per-instruction retire loop; the behavioral reference
+    /// every other engine is held equivalent to.
+    fn run_legacy(
         &self,
         state: &mut CpuState,
         observers: &mut [&mut dyn Observer],
@@ -346,12 +503,170 @@ impl<E: IsaExecutor> EmulationCore<E> {
             phases: phase::take(),
         })
     }
+
+    /// The pre-decoded basic-block retire loop.
+    ///
+    /// Equivalence with [`Self::run_legacy`] hinges on one invariant: no
+    /// loop-level event may fire at a different retirement count. The loop
+    /// therefore computes, each iteration, the earliest retirement count at
+    /// which *any* event is due — budget, masked boundary (checkpoint /
+    /// shutdown / deadline), sampling boundary, heartbeat — and hands the
+    /// executor exactly that much fuel. Blocks never straddle an event
+    /// boundary, so every checkpoint pause, sample publish, watchdog trip
+    /// and heartbeat lands at the same `instret` (and the same `state.pc`)
+    /// the legacy loop produces.
+    fn run_blocks(
+        &self,
+        state: &mut CpuState,
+        observers: &mut [&mut dyn Observer],
+    ) -> Result<RunStats, SimError> {
+        let start = Instant::now();
+        let start_retired = state.instret;
+        let mut retired: u64 = start_retired;
+        let next_checkpoint = if self.checkpoint_every == u64::MAX {
+            u64::MAX
+        } else {
+            start_retired.saturating_add(self.checkpoint_every)
+        };
+        // The legacy heartbeat check is an equality against a counter that
+        // starts at `progress_every`, so a resumed run that is already past
+        // the first beat never beats again — mirror that exactly.
+        let mut next_beat =
+            if self.progress_every > start_retired { self.progress_every } else { u64::MAX };
+        // The masked 2^14 boundary only matters when one of its three
+        // tenants is live; otherwise blocks run straight through it, just
+        // as the legacy loop's branch never does anything there.
+        let masked_live =
+            next_checkpoint != u64::MAX || self.heed_shutdown || self.deadline.is_some();
+        // Observer fast path: when no attached observer wants per-
+        // instruction records, the executor skips materializing them and
+        // observers get one `on_batch` per block instead.
+        let wants_retires = observers.iter().any(|o| o.wants_retires());
+        let _ = phase::take();
+        while state.exited.is_none() {
+            if retired >= self.max_insts {
+                state.instret = retired;
+                return Err(SimError::InstructionBudgetExceeded {
+                    budget: self.max_insts,
+                });
+            }
+            if retired & (Self::DEADLINE_CHECK_INTERVAL - 1) == 0 {
+                if retired >= next_checkpoint {
+                    state.instret = retired;
+                    return Ok(RunStats {
+                        retired,
+                        exit_code: 0,
+                        stop: StopReason::CheckpointDue,
+                        wall: start.elapsed(),
+                        phases: phase::take(),
+                    });
+                }
+                if self.heed_shutdown && crate::shutdown::requested() {
+                    state.instret = retired;
+                    return Err(SimError::Interrupted { retired });
+                }
+                if let Some(deadline) = self.deadline {
+                    if start.elapsed() >= deadline {
+                        state.instret = retired;
+                        return Err(SimError::WallClockExceeded {
+                            limit_ms: deadline.as_millis() as u64,
+                            retired,
+                        });
+                    }
+                }
+            }
+            if retired & self.sample_mask == 0 {
+                if let Some(snap) = &self.sample {
+                    snap.publish(state.pc, retired);
+                }
+            }
+            // Earliest retirement count at which an event is due again.
+            // Every candidate is strictly greater than `retired` (the
+            // budget was just checked; the boundary expressions round up),
+            // so the executor always gets at least one instruction of fuel.
+            let mut stop = self.max_insts;
+            if masked_live {
+                stop = stop.min((retired | (Self::DEADLINE_CHECK_INTERVAL - 1)) + 1);
+            }
+            if self.sample_mask != u64::MAX {
+                stop = stop.min((retired | self.sample_mask) + 1);
+            }
+            stop = stop.min(next_beat);
+            let fuel = stop - retired;
+            let (done, err) = if wants_retires {
+                let mut sink = |ri: &RetiredInst| {
+                    let _t = phase::scoped(Phase::Observe);
+                    for obs in observers.iter_mut() {
+                        obs.on_retire(ri);
+                    }
+                };
+                self.exec.run_block(state, fuel, Some(&mut sink))
+            } else {
+                self.exec.run_block(state, fuel, None)
+            };
+            retired += done;
+            if !wants_retires && done > 0 && !observers.is_empty() {
+                let _t = phase::scoped(Phase::Observe);
+                for obs in observers.iter_mut() {
+                    obs.on_batch(done);
+                }
+            }
+            if let Some(e) = err {
+                state.instret = retired;
+                return Err(e);
+            }
+            if done == 0 && state.exited.is_none() {
+                // Forward-progress guard against a miscounting executor:
+                // one legacy step either retires or surfaces the fault.
+                match self.exec.step(state) {
+                    Ok(ri) => {
+                        retired += 1;
+                        if !observers.is_empty() {
+                            let _t = phase::scoped(Phase::Observe);
+                            for obs in observers.iter_mut() {
+                                if wants_retires {
+                                    obs.on_retire(&ri);
+                                } else {
+                                    obs.on_batch(1);
+                                }
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        state.instret = retired;
+                        return Err(e);
+                    }
+                }
+            }
+            if retired == next_beat {
+                let mips = host_mips(retired, start.elapsed());
+                eprintln!(
+                    "[{}] {retired} retired, {mips:.1} MIPS, pc={:#x}",
+                    self.exec.name(),
+                    state.pc
+                );
+                next_beat = next_beat.saturating_add(self.progress_every);
+            }
+        }
+        state.instret = retired;
+        for obs in observers.iter_mut() {
+            obs.on_finish();
+        }
+        Ok(RunStats {
+            retired,
+            exit_code: state.exited.unwrap_or(0),
+            stop: StopReason::Exited,
+            wall: start.elapsed(),
+            phases: phase::take(),
+        })
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::fault::FaultPlan;
+    use crate::observer::CountingObserver;
     use crate::retire::InstGroup;
     use std::cell::Cell;
 
@@ -590,5 +905,177 @@ mod tests {
         let core = EmulationCore::new(SpinExec::new()).with_injector(Box::new(plan));
         let stats = core.run(&mut st, &mut []).unwrap();
         assert_eq!(stats.exit_code, 1);
+    }
+
+    /// SpinExec with genuine block support: retires up to 16 instructions
+    /// per `run_block` call (a fixed pretend block length), so fuel
+    /// splitting, mid-block exits, and batch callbacks all get exercised
+    /// without an ISA decoder.
+    struct BlockSpinExec {
+        inner: SpinExec,
+        block_calls: Cell<u32>,
+    }
+
+    impl BlockSpinExec {
+        fn new() -> Self {
+            BlockSpinExec { inner: SpinExec::new(), block_calls: Cell::new(0) }
+        }
+    }
+
+    impl IsaExecutor for BlockSpinExec {
+        fn step(&self, state: &mut CpuState) -> Result<RetiredInst, SimError> {
+            self.inner.step(state)
+        }
+
+        fn disassemble(&self, word: u32) -> String {
+            self.inner.disassemble(word)
+        }
+
+        fn name(&self) -> &'static str {
+            "block-spin"
+        }
+
+        fn supports_blocks(&self) -> bool {
+            true
+        }
+
+        fn run_block(
+            &self,
+            state: &mut CpuState,
+            fuel: u64,
+            mut sink: Option<&mut dyn FnMut(&RetiredInst)>,
+        ) -> (u64, Option<SimError>) {
+            self.block_calls.set(self.block_calls.get() + 1);
+            let take = fuel.min(16);
+            let mut done = 0;
+            while done < take && state.exited.is_none() {
+                match self.step(state) {
+                    Ok(ri) => {
+                        done += 1;
+                        if let Some(s) = sink.as_mut() {
+                            s(&ri);
+                        }
+                    }
+                    Err(e) => return (done, Some(e)),
+                }
+            }
+            (done, None)
+        }
+    }
+
+    /// A full-stream observer: `wants_retires` stays true, so the block
+    /// engine must take its slow path and deliver every record.
+    #[derive(Default)]
+    struct EveryRecord {
+        records: u64,
+        last_pc: u64,
+    }
+
+    impl Observer for EveryRecord {
+        fn on_retire(&mut self, ri: &RetiredInst) {
+            self.records += 1;
+            self.last_pc = ri.pc;
+        }
+    }
+
+    #[test]
+    fn block_engine_pauses_checkpoints_at_the_legacy_boundary() {
+        let run = |engine: Engine| {
+            let mut st = spinning_state();
+            let exec = BlockSpinExec::new();
+            let stats = EmulationCore::new(&exec)
+                .with_engine(engine)
+                .with_checkpoint_every(16384)
+                .run(&mut st, &mut [])
+                .expect("pause, not error");
+            (stats.stop, stats.retired, st.instret, st.pc, exec.block_calls.get())
+        };
+        let (l_stop, l_ret, l_instret, l_pc, _) = run(Engine::Legacy);
+        let (b_stop, b_ret, b_instret, b_pc, calls) = run(Engine::Block);
+        assert_eq!(l_stop, StopReason::CheckpointDue);
+        assert_eq!((l_stop, l_ret, l_instret, l_pc), (b_stop, b_ret, b_instret, b_pc));
+        // 16384 = DEADLINE_CHECK_INTERVAL: pauses land on masked boundaries.
+        assert_eq!(b_ret, 16384, "pause lands exactly on the masked boundary");
+        assert!(calls > 0, "the block path must actually have run blocks");
+    }
+
+    #[test]
+    fn block_engine_trips_the_budget_at_the_exact_count() {
+        for engine in [Engine::Legacy, Engine::Block] {
+            let mut st = spinning_state();
+            let err = EmulationCore::new(BlockSpinExec::new())
+                .with_engine(engine)
+                .with_budget(1000)
+                .run(&mut st, &mut [])
+                .unwrap_err();
+            assert!(
+                matches!(err, SimError::InstructionBudgetExceeded { budget: 1000 }),
+                "{engine}: {err}"
+            );
+            assert_eq!(st.instret, 1000, "{engine}: instret at the budget stop");
+        }
+    }
+
+    #[test]
+    fn block_engine_publishes_samples_on_the_legacy_stride() {
+        let run = |engine: Engine| {
+            let mut st = spinning_state();
+            st.mem.write_u32(0x1000 + 200 * 4, 3).unwrap(); // exit at retirement 201
+            let snap = std::sync::Arc::new(crate::sample::SampleSnapshot::new());
+            EmulationCore::new(BlockSpinExec::new())
+                .with_engine(engine)
+                .with_sampling(std::sync::Arc::clone(&snap), 6)
+                .run(&mut st, &mut [])
+                .expect("run exits");
+            (snap.read(), snap.publishes())
+        };
+        let legacy = run(Engine::Legacy);
+        let block = run(Engine::Block);
+        assert_eq!(legacy, block, "published samples and publish counts must match");
+        assert!(legacy.1 > 0, "the stride must have published at least once");
+    }
+
+    #[test]
+    fn block_engine_heartbeat_path_matches_legacy_results() {
+        for engine in [Engine::Legacy, Engine::Block] {
+            let mut st = spinning_state();
+            st.mem.write_u32(0x1000 + 500 * 4, 9).unwrap();
+            let stats = EmulationCore::new(BlockSpinExec::new())
+                .with_engine(engine)
+                .with_progress(64)
+                .run(&mut st, &mut [])
+                .expect("run exits");
+            assert_eq!(stats.retired, 501, "{engine}");
+            assert_eq!(stats.exit_code, 9, "{engine}");
+        }
+    }
+
+    #[test]
+    fn block_fast_path_batches_and_slow_path_delivers_every_record() {
+        // Batch-only observer: fast path, one on_batch per block batch.
+        let mut st = spinning_state();
+        st.mem.write_u32(0x1000 + 100 * 4, 1).unwrap();
+        let mut count = CountingObserver::default();
+        let exec = BlockSpinExec::new();
+        EmulationCore::new(&exec)
+            .with_engine(Engine::Block)
+            .run(&mut st, &mut [&mut count])
+            .expect("run exits");
+        assert_eq!(count.retired, 101, "batched counts must equal retirements");
+        assert!(
+            exec.block_calls.get() > 1,
+            "a 101-instruction run must span several 16-instruction blocks"
+        );
+
+        // Record-hungry observer: slow path, every record delivered.
+        let mut st = spinning_state();
+        st.mem.write_u32(0x1000 + 100 * 4, 1).unwrap();
+        let mut every = EveryRecord::default();
+        EmulationCore::new(BlockSpinExec::new())
+            .with_engine(Engine::Block)
+            .run(&mut st, &mut [&mut every])
+            .expect("run exits");
+        assert_eq!(every.records, 101);
+        assert_eq!(every.last_pc, 0x1000 + 100 * 4, "last record is the exiting instruction");
     }
 }

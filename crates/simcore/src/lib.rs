@@ -58,7 +58,7 @@ pub mod source;
 pub mod state;
 
 pub use crate::checkpoint::{CampaignState, Checkpoint, CheckpointError, TraceMark};
-pub use crate::core::{host_mips, EmulationCore, IsaExecutor, RunStats, StopReason};
+pub use crate::core::{host_mips, EmulationCore, Engine, IsaExecutor, RunStats, StopReason};
 pub use crate::phase::{Phase, PhaseNanos};
 pub use crate::sample::{Sample, SampleSnapshot};
 pub use crate::error::SimError;

@@ -199,3 +199,59 @@ fn corruption_of_every_image_byte_is_caught_or_visible() {
         }
     }
 }
+
+/// Checkpointing the block engine mid-run: the decoded-block cache is
+/// host-side state and is deliberately NOT serialized, so a restore into
+/// a fresh executor starts cache-cold. The resumed run must rebuild the
+/// cache by re-decoding and still finish byte-identical (full checkpoint
+/// image, not just the state hash) to an uninterrupted block-engine run.
+#[test]
+fn block_engine_restore_rebuilds_cache_cold_and_finishes_byte_identical() {
+    use isacmp::{
+        compile, EmulationCore, Engine, IsaKind, Personality, RiscVExecutor, SizeClass,
+        StopReason, Workload,
+    };
+
+    let compiled =
+        compile(&Workload::Stream.build(SizeClass::Small), IsaKind::RiscV, &Personality::gcc122());
+    let mark = TraceMark { records: 0, blocks: 0, bytes: 0 };
+
+    // Reference: one uninterrupted block-engine run.
+    let mut ref_st = CpuState::new();
+    compiled.program.load(&mut ref_st).expect("program loads");
+    EmulationCore::new(RiscVExecutor::new())
+        .with_engine(Engine::Block)
+        .run(&mut ref_st, &mut [])
+        .expect("reference run completes");
+    let ref_image = Checkpoint::capture(&ref_st, None, mark).to_bytes();
+
+    // Interrupted leg: pause at the first checkpoint boundary, snapshot,
+    // and throw the warm executor (and its block cache) away.
+    let mut st = CpuState::new();
+    compiled.program.load(&mut st).expect("program loads");
+    let stats = EmulationCore::new(RiscVExecutor::new())
+        .with_engine(Engine::Block)
+        .with_checkpoint_every(400_000)
+        .run(&mut st, &mut [])
+        .expect("run reaches the checkpoint boundary");
+    assert_eq!(stats.stop, StopReason::CheckpointDue, "snapshot must interrupt mid-run");
+    assert!(st.exited.is_none(), "the guest must not have finished yet");
+    let snapshot = Checkpoint::capture(&st, None, mark).to_bytes();
+
+    // Restore into a brand-new state and executor: the block cache is
+    // rebuilt from the restored memory image alone.
+    let mut resumed = Checkpoint::from_bytes(&snapshot)
+        .expect("snapshot parses")
+        .restore_state()
+        .expect("snapshot restores");
+    EmulationCore::new(RiscVExecutor::new())
+        .with_engine(Engine::Block)
+        .run(&mut resumed, &mut [])
+        .expect("resumed run completes");
+
+    assert_eq!(
+        Checkpoint::capture(&resumed, None, mark).to_bytes(),
+        ref_image,
+        "cold-cache resume must finish byte-identical to the uninterrupted run"
+    );
+}
