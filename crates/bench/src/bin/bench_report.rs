@@ -5,8 +5,15 @@
 //! ```text
 //! bench_report [--size test|small|paper] [--runs N] [--threshold PCT]
 //!              [--history PATH] [--baseline PATH] [--strict]
-//!              [--mips-scale F] [--host-ghz F]
+//!              [--mips-scale F] [--host-ghz F] [--server-stats PATH]
 //! ```
+//!
+//! `--server-stats` merges a `load_driver --stats-out` report (jobs
+//! served, cache hits, p50/p99 latency) into the history entry as a
+//! `server` object and publishes the headline numbers as telemetry
+//! gauges (`server_jobs_total`, `cache_hits`, `p99_latency_us`), so the
+//! daemon's serving performance rides the same trajectory file as
+//! emulation throughput.
 //!
 //! The suite is pinned: all five workloads x {RISC-V, AArch64} x gcc-12.2
 //! x {legacy, block} engines, each cell emulated bare (no observers)
@@ -57,13 +64,14 @@ struct Args {
     strict: bool,
     mips_scale: f64,
     host_ghz: f64,
+    server_stats: Option<PathBuf>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: bench_report [--size test|small|paper] [--runs N] [--threshold PCT]\n\
          \x20                   [--history PATH] [--baseline PATH] [--strict] [--mips-scale F]\n\
-         \x20                   [--host-ghz F]"
+         \x20                   [--host-ghz F] [--server-stats PATH]"
     );
     std::process::exit(1);
 }
@@ -78,6 +86,7 @@ fn parse_args() -> Args {
         strict: false,
         mips_scale: 1.0,
         host_ghz: DEFAULT_HOST_GHZ,
+        server_stats: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -87,15 +96,10 @@ fn parse_args() -> Args {
         });
         match a.as_str() {
             "--size" => {
-                args.size = match value("--size").as_str() {
-                    "test" => SizeClass::Test,
-                    "small" => SizeClass::Small,
-                    "paper" => SizeClass::Paper,
-                    other => {
-                        eprintln!("bench_report: unknown size class {other:?}");
-                        usage()
-                    }
-                }
+                args.size = bench::cli::size_from_name(&value("--size")).unwrap_or_else(|e| {
+                    eprintln!("bench_report: {e}");
+                    usage()
+                })
             }
             "--runs" => {
                 args.runs = value("--runs").parse::<u32>().ok().filter(|n| *n > 0).unwrap_or_else(
@@ -115,6 +119,7 @@ fn parse_args() -> Args {
             }
             "--history" => args.history = PathBuf::from(value("--history")),
             "--baseline" => args.baseline = PathBuf::from(value("--baseline")),
+            "--server-stats" => args.server_stats = Some(PathBuf::from(value("--server-stats"))),
             "--strict" => args.strict = true,
             "--mips-scale" => {
                 args.mips_scale = value("--mips-scale")
@@ -269,6 +274,21 @@ fn parse_entry(line: &str, lineno: usize) -> Result<Entry, String> {
     Ok(Entry { timestamp, size, geomean_mips })
 }
 
+/// Load a `load_driver --stats-out` report and validate the fields this
+/// binary republishes. Returns the parsed object for verbatim embedding
+/// in the history entry.
+fn read_server_stats(path: &std::path::Path) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let j = Json::parse(&text).map_err(|e| format!("{}: not valid JSON ({e})", path.display()))?;
+    for field in ["server_jobs_total", "cache_hits", "p99_latency_us"] {
+        j.get(field)
+            .and_then(Json::as_f64)
+            .filter(|v| v.is_finite() && *v >= 0.0)
+            .ok_or_else(|| format!("{}: missing or invalid {field}", path.display()))?;
+    }
+    Ok(j)
+}
+
 /// Last entry in the history file, if any. `Ok(None)` when the file does
 /// not exist yet (first run); `Err` on any malformed line.
 fn read_last_entry(path: &std::path::Path) -> Result<Option<Entry>, String> {
@@ -295,6 +315,14 @@ fn main() -> ExitCode {
     // fast instead of after a long suite run.
     let prev = match read_last_entry(&args.history) {
         Ok(p) => p,
+        Err(e) => {
+            eprintln!("bench_report: schema error: {e}");
+            return ExitCode::from(EXIT_SCHEMA);
+        }
+    };
+    // Same fail-fast rule for a requested server-stats merge.
+    let server_stats = match args.server_stats.as_deref().map(read_server_stats).transpose() {
+        Ok(s) => s,
         Err(e) => {
             eprintln!("bench_report: schema error: {e}");
             return ExitCode::from(EXIT_SCHEMA);
@@ -377,7 +405,7 @@ fn main() -> ExitCode {
          {total_retired} instructions retired"
     );
 
-    let entry = Json::obj(vec![
+    let mut fields = vec![
         ("schema", Json::Num(SCHEMA as f64)),
         ("timestamp", Json::Num(timestamp as f64)),
         ("size", Json::Str(args.size.name().to_string())),
@@ -387,7 +415,31 @@ fn main() -> ExitCode {
         ("geomean_mips_legacy", Json::Num(geomean_mips_legacy)),
         ("total_retired", Json::Num(total_retired as f64)),
         ("cells", Json::Arr(cells.iter().map(CellResult::to_json).collect())),
-    ]);
+    ];
+    if let Some(stats) = &server_stats {
+        // Republish the headline serving numbers as gauges and embed the
+        // full load_driver report in this entry.
+        let tel = isacmp::telemetry::global();
+        for g in ["server_jobs_total", "cache_hits", "p99_latency_us"] {
+            if let Some(v) = stats.get(g).and_then(Json::as_f64) {
+                tel.gauge_set(g, v);
+            }
+        }
+        // load_driver reports cache_hit_rate as a percentage already.
+        let hit_rate = stats
+            .get("cache_hit_rate")
+            .and_then(Json::as_f64)
+            .map(|r| format!(", {r:.1}% cache hits"))
+            .unwrap_or_default();
+        println!(
+            "  server: {} job(s), p99 {:.0} us{hit_rate} (from {})",
+            stats.get("server_jobs_total").and_then(Json::as_u64).unwrap_or(0),
+            stats.get("p99_latency_us").and_then(Json::as_f64).unwrap_or(0.0),
+            args.server_stats.as_ref().unwrap().display(),
+        );
+        fields.push(("server", stats.clone()));
+    }
+    let entry = Json::obj(fields);
 
     // Append to history (fsynced, so the record survives a crash), then
     // atomically regenerate the baseline from this entry.

@@ -61,70 +61,36 @@
 
 use std::fs;
 use std::path::Path;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
+use bench::cli;
 use isacmp::{
     compile, continue_matrix, durable, read_journal, resume_matrix_journaled, run_cell,
     run_matrix_journaled, run_matrix_opts, run_pipeline, run_pipeline_full, shutdown,
-    CacheConfig, CampaignManifest, CampaignSpec, CellJournal, ExperimentCell, InjectSpec,
-    Engine, IsaKind, JournalContents, MatrixOptions, Personality, PipelineConfig, ResultMatrix,
+    CacheConfig, CampaignManifest, CellJournal, ExperimentCell,
+    IsaKind, JournalContents, MatrixOptions, Personality, PipelineConfig, ResultMatrix,
     SizeClass, Workload,
 };
 
 /// Where matrix runs journal completed cells for crash recovery.
 const JOURNAL_PATH: &str = "results/matrix.journal.jsonl";
 
-fn parse_flag_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+/// CLI parse failures are usage errors: report and exit 2.
+fn or_usage<T>(r: Result<T, String>) -> T {
+    r.unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    })
 }
 
-fn parse_size(args: &[String]) -> SizeClass {
-    match args.iter().position(|a| a == "--size") {
-        Some(i) => match args.get(i + 1).map(|s| s.as_str()) {
-            Some("test") => SizeClass::Test,
-            Some("small") | None => SizeClass::Small,
-            Some("paper") => SizeClass::Paper,
-            Some(other) => {
-                eprintln!("unknown size {other}; one of: test, small, paper");
-                std::process::exit(2);
-            }
-        },
-        None => SizeClass::Small,
-    }
-}
-
-/// Build the matrix fault-tolerance options from the CLI. Also returns
-/// the sampled campaign manifest (when `--campaign` is armed) so matrix
-/// runs can pin it into the cell journal's `begin` record.
+/// Build the matrix fault-tolerance options from the shared CLI grammar
+/// (`bench::cli`). Also returns the sampled campaign manifest (when
+/// `--campaign` is armed) so matrix runs can pin it into the cell
+/// journal's `begin` record.
 fn parse_matrix_opts(args: &[String]) -> (MatrixOptions, Option<CampaignManifest>) {
-    let deadline = parse_flag_value(args, "--deadline-secs").map(|s| {
-        let secs: f64 = s.parse().unwrap_or_else(|_| {
-            eprintln!("bad --deadline-secs value {s:?}: expected seconds");
-            std::process::exit(2);
-        });
-        std::time::Duration::from_secs_f64(secs)
-    });
-    // One retry by default: transient upsets (the kind fault injection
-    // emulates) get a second chance; deterministic failures never retry.
-    let retries = match parse_flag_value(args, "--retries") {
-        Some(s) => s.parse().unwrap_or_else(|_| {
-            eprintln!("bad --retries value {s:?}: expected a small integer");
-            std::process::exit(2);
-        }),
-        None => 1,
-    };
-    let inject = parse_flag_value(args, "--inject").map(|s| {
-        InjectSpec::parse(&s).unwrap_or_else(|e| {
-            eprintln!("{e}");
-            std::process::exit(2);
-        })
-    });
+    let flags = or_usage(cli::MatrixFlags::parse(args));
     let mut campaign_manifest = None;
-    let campaign = parse_flag_value(args, "--campaign").map(|s| {
-        let spec = CampaignSpec::parse(&s).unwrap_or_else(|e| {
-            eprintln!("{e}");
-            std::process::exit(2);
-        });
+    let campaign = flags.campaign.map(|spec| {
         // Sample through the manifest so the schedule we inject is byte-
         // identical to the one recorded in results/campaign.json.
         let manifest = CampaignManifest::sample(spec);
@@ -135,41 +101,29 @@ fn parse_matrix_opts(args: &[String]) -> (MatrixOptions, Option<CampaignManifest
             manifest.seed,
             manifest.specs.len()
         );
-        let armed = manifest.campaign().unwrap_or_else(|e| {
-            eprintln!("{e}");
-            std::process::exit(2);
-        });
+        let armed = or_usage(manifest.campaign());
         campaign_manifest = Some(manifest);
         armed
     });
-    let trace_dir = parse_flag_value(args, "--trace-dir").map(|d| {
-        let dir = std::path::PathBuf::from(d);
-        fs::create_dir_all(&dir).unwrap_or_else(|e| {
+    if let Some(dir) = &flags.trace_dir {
+        fs::create_dir_all(dir).unwrap_or_else(|e| {
             eprintln!("cannot create trace dir {}: {e}", dir.display());
             std::process::exit(2);
         });
-        dir
-    });
+    }
     // Watchdog-tripped cells leave a resumable snapshot behind whenever a
     // deadline is armed.
     let checkpoint_dir =
-        deadline.map(|_| std::path::PathBuf::from("results/snapshots"));
-    let engine = match parse_flag_value(args, "--engine") {
-        Some(s) => s.parse().unwrap_or_else(|e| {
-            eprintln!("bad --engine value: {e}");
-            std::process::exit(2);
-        }),
-        None => Engine::default(),
-    };
+        flags.deadline.map(|_| std::path::PathBuf::from("results/snapshots"));
     let opts = MatrixOptions {
-        deadline,
-        retries,
-        inject,
+        deadline: flags.deadline,
+        retries: flags.retries,
+        inject: flags.inject,
         campaign,
-        trace_dir,
+        trace_dir: flags.trace_dir,
         heed_shutdown: true,
         checkpoint_dir,
-        engine,
+        engine: flags.engine,
     };
     (opts, campaign_manifest)
 }
@@ -201,10 +155,14 @@ enum ResumeSource {
 }
 
 /// Open the cell journal for a matrix run, degrading to journal-less
-/// operation (with a warning) if the path is unwritable.
-fn open_journal(open: impl FnOnce() -> std::io::Result<CellJournal>) -> Option<Mutex<CellJournal>> {
+/// operation (with a warning) if the path is unwritable. The journal is
+/// `Arc`-shared because cells run as owned tasks on the process-wide
+/// shard pool.
+fn open_journal(
+    open: impl FnOnce() -> std::io::Result<CellJournal>,
+) -> Option<Arc<Mutex<CellJournal>>> {
     match open() {
-        Ok(j) => Some(Mutex::new(j)),
+        Ok(j) => Some(Arc::new(Mutex::new(j))),
         Err(e) => {
             eprintln!("warning: cannot open {JOURNAL_PATH}: {e} (running without crash journal)");
             None
@@ -523,17 +481,17 @@ fn main() {
     shutdown::install();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let what = args.first().map(|s| s.as_str()).unwrap_or("all");
-    let size = parse_size(&args);
-    let metrics_path = parse_flag_value(&args, "--metrics");
+    let size = or_usage(cli::parse_size(&args));
+    let metrics_path = cli::flag_value(&args, "--metrics");
     // Reject contradictory flags before parse_matrix_opts samples (and
     // writes) a campaign manifest for a run that will never happen.
-    if args.iter().any(|a| a == "--campaign") && args.iter().any(|a| a == "--resume") {
+    if cli::has_flag(&args, "--campaign") && cli::has_flag(&args, "--resume") {
         eprintln!("--campaign and --resume are mutually exclusive");
         std::process::exit(2);
     }
     let (mut matrix_opts, campaign_manifest) = parse_matrix_opts(&args);
-    let strict = args.iter().any(|a| a == "--strict");
-    let resume_src = parse_flag_value(&args, "--resume").map(|p| {
+    let strict = cli::has_flag(&args, "--strict");
+    let resume_src = cli::flag_value(&args, "--resume").map(|p| {
         // A surviving journal means the prior run was killed mid-matrix;
         // it supersedes the (older or partial) matrix JSON.
         if Path::new(JOURNAL_PATH).exists() {
@@ -582,13 +540,7 @@ fn main() {
             }));
         }
     }
-    for a in &args {
-        if a == "--progress" {
-            std::env::set_var("ISACMP_PROGRESS", "1");
-        } else if let Some(n) = a.strip_prefix("--progress=") {
-            std::env::set_var("ISACMP_PROGRESS", n);
-        }
-    }
+    cli::apply_progress_env(&args);
 
     let tel = isacmp::telemetry::global();
     let run_start = std::time::Instant::now();
@@ -708,7 +660,7 @@ fn main() {
             });
         eprintln!("telemetry report written to {path} ({})", report.summary());
     }
-    if let Some(path) = parse_flag_value(&args, "--events") {
+    if let Some(path) = cli::flag_value(&args, "--events") {
         match tel.events().drain_to_file(std::path::Path::new(&path)) {
             Ok(0) => eprintln!("structured events: none emitted"),
             Ok(n) => eprintln!("structured events: {n} written to {path}"),

@@ -49,6 +49,7 @@
 //! Exits with the guest's exit code (124 on a watchdog trip, 130 when
 //! interrupted by SIGINT/SIGTERM).
 
+use bench::cli;
 use isacmp::telemetry::sampler::Sampler;
 use isacmp::{
     shutdown, AArch64Executor, Campaign, CampaignSpec, Checkpoint, CpuState, DualCriticalPath,
@@ -125,9 +126,7 @@ fn parse_args() -> Result<Args, String> {
             progress = Some(n.parse::<u64>().map_err(|_| format!("bad --progress value {n:?}"))?);
         } else if a == "--deadline-secs" {
             let s = it.next().ok_or("--deadline-secs needs a value")?;
-            let secs: f64 =
-                s.parse().map_err(|_| format!("bad --deadline-secs value {s:?}"))?;
-            deadline = Some(Duration::from_secs_f64(secs));
+            deadline = Some(cli::deadline_from_secs(&s)?);
         } else if a == "--inject" {
             let s = it.next().ok_or("--inject needs a fault spec")?;
             inject = Some(FaultPlan::parse(&s)?);

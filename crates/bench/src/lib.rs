@@ -2,6 +2,11 @@
 //! `make_tables` harness binary that regenerates every artefact.
 //!
 //! See `src/bin/make_tables.rs` and the `benches/` directory.
+//!
+//! [`cli`] holds the flag grammar shared by every bin in this crate and
+//! by the `isacmpd` daemon / `load_driver` in `crates/server`.
+
+pub mod cli;
 
 /// The experiment ids this crate can regenerate.
 pub const EXPERIMENTS: [&str; 8] =

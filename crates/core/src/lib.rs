@@ -37,9 +37,11 @@
 mod campaign;
 mod error;
 mod journal;
+pub mod pool;
 mod tracecache;
 
 pub use campaign::CampaignManifest;
+pub use pool::{PoolStats, ShardPool};
 pub use error::{
     CellError, CellOptions, CellSelector, InjectSpec, MatrixOptions, MAX_CELL_RETRIES,
 };
@@ -541,9 +543,10 @@ pub fn run_cell(
 }
 
 /// Run the paper's full experiment matrix: all five workloads x
-/// {GCC 9.2, GCC 12.2} x {AArch64, RISC-V}, cells in parallel across a
-/// scoped thread pool sized to the host. Failed cells degrade to
-/// [`ResultMatrix::failures`] entries; the other cells still measure.
+/// {GCC 9.2, GCC 12.2} x {AArch64, RISC-V}, cells in parallel on the
+/// process-wide work-stealing shard pool ([`pool::global`]). Failed cells
+/// degrade to [`ResultMatrix::failures`] entries; the other cells still
+/// measure.
 pub fn run_matrix(size: SizeClass) -> ResultMatrix {
     run_matrix_for(&Workload::ALL, size)
 }
@@ -564,10 +567,11 @@ pub fn run_matrix_opts(
 }
 
 /// The paper's canonical cell order: workloads x {GCC 9.2, GCC 12.2} x
-/// {AArch64, RISC-V}. Every matrix entry point iterates combinations in
-/// this order, which is what makes resumed and uninterrupted matrices
+/// {AArch64, RISC-V}. Every matrix entry point — including the `isacmpd`
+/// daemon's job planner — iterates combinations in this order, which is
+/// what makes resumed, uninterrupted, and daemon-served matrices
 /// byte-identical.
-fn matrix_combos(workloads: &[Workload]) -> Vec<(Workload, Personality, IsaKind)> {
+pub fn matrix_combos(workloads: &[Workload]) -> Vec<(Workload, Personality, IsaKind)> {
     workloads
         .iter()
         .flat_map(|&w| {
@@ -586,11 +590,15 @@ fn matrix_combos(workloads: &[Workload]) -> Vec<(Workload, Personality, IsaKind)
 /// When `opts.heed_shutdown` is set, SIGINT/SIGTERM drains the worker
 /// pool gracefully: unstarted combos are skipped (returned matrix simply
 /// lacks them) and interrupted cells are neither recorded nor journaled.
+///
+/// The journal rides in an `Arc` because cells run as `'static` tasks on
+/// the process-wide [`pool::global`] shard pool (shared with the daemon),
+/// not on a scoped per-call pool.
 pub fn run_matrix_journaled(
     workloads: &[Workload],
     size: SizeClass,
     opts: &MatrixOptions,
-    journal: Option<&std::sync::Mutex<CellJournal>>,
+    journal: Option<&std::sync::Arc<std::sync::Mutex<CellJournal>>>,
 ) -> ResultMatrix {
     let _span = telemetry::global().enter("matrix");
     let combos = matrix_combos(workloads);
@@ -604,26 +612,40 @@ pub fn run_matrix_journaled(
     matrix
 }
 
-/// Run a set of combinations on the worker pool, journaling each outcome
-/// as it completes. `None` slots are combos never started because a
-/// shutdown was requested.
+/// Run a set of combinations on the shared shard pool, journaling each
+/// outcome as it completes. `None` slots are combos never started because
+/// a shutdown was requested. Tasks own everything they touch (combos are
+/// `Copy`, options are cloned per cell, the journal is `Arc`-shared), so
+/// they can outlive this stack frame on the persistent pool — though
+/// `run_batch` in fact blocks until every slot resolves.
 #[allow(clippy::type_complexity)]
 fn run_combos(
     combos: &[(Workload, Personality, IsaKind)],
     size: SizeClass,
     opts: &MatrixOptions,
-    journal: Option<&std::sync::Mutex<CellJournal>>,
+    journal: Option<&std::sync::Arc<std::sync::Mutex<CellJournal>>>,
 ) -> Vec<Option<Result<Result<ExperimentCell, CellError>, String>>> {
-    par_map(
-        combos,
-        |(w, p, isa)| {
-            let cell_opts = opts.cell_options(w.name(), p.label(), isa_label(*isa));
-            let outcome = run_cell_opts(*w, *isa, p, size, &cell_opts);
-            journal_outcome(journal, w.name(), p.label(), isa_label(*isa), &outcome, opts.retries);
-            outcome
-        },
-        opts.heed_shutdown,
-    )
+    let tasks: Vec<Box<dyn FnOnce() -> Result<ExperimentCell, CellError> + Send>> = combos
+        .iter()
+        .map(|&(w, p, isa)| {
+            let cell_opts = opts.cell_options(w.name(), p.label(), isa_label(isa));
+            let journal = journal.cloned();
+            let retries = opts.retries;
+            Box::new(move || {
+                let outcome = run_cell_opts(w, isa, &p, size, &cell_opts);
+                journal_outcome(
+                    journal.as_deref(),
+                    w.name(),
+                    p.label(),
+                    isa_label(isa),
+                    &outcome,
+                    retries,
+                );
+                outcome
+            }) as Box<dyn FnOnce() -> Result<ExperimentCell, CellError> + Send>
+        })
+        .collect();
+    pool::global().run_batch(tasks, opts.heed_shutdown)
 }
 
 /// Durably append one completed cell outcome to the journal (if one is
@@ -631,7 +653,11 @@ fn run_combos(
 /// absence of a record is what marks the combo for re-running on resume.
 /// Journal I/O failures are counted and logged, never escalated — the
 /// in-memory matrix still carries the outcome.
-fn journal_outcome(
+///
+/// Public because the `isacmpd` daemon journals cells it runs on the
+/// shared pool through exactly this path, so daemon-written journals are
+/// indistinguishable from `make_tables` ones.
+pub fn journal_outcome(
     journal: Option<&std::sync::Mutex<CellJournal>>,
     workload: &str,
     compiler: &str,
@@ -666,7 +692,12 @@ fn journal_outcome(
 /// Fold one worker outcome into the matrix: a measured cell, a typed
 /// failure, or (worst case) a panic that escaped even `run_cell`'s
 /// catch_unwind / a lost worker — recorded, never fatal.
-fn record_outcome(
+///
+/// Public because the `isacmpd` daemon assembles served matrices through
+/// this exact path; that shared fold (plus [`matrix_combos`] order) is
+/// what makes a daemon-served `matrix.json` byte-identical to a one-shot
+/// `make_tables` run.
+pub fn record_outcome(
     matrix: &mut ResultMatrix,
     workload: &str,
     compiler: &str,
@@ -720,7 +751,7 @@ pub fn resume_matrix_journaled(
     prior: &ResultMatrix,
     size: SizeClass,
     opts: &MatrixOptions,
-    journal: Option<&std::sync::Mutex<CellJournal>>,
+    journal: Option<&std::sync::Arc<std::sync::Mutex<CellJournal>>>,
 ) -> ResultMatrix {
     let tel = telemetry::global();
     let _span = tel.enter("matrix_resume");
@@ -762,7 +793,7 @@ pub fn continue_matrix(
     size: SizeClass,
     opts: &MatrixOptions,
     prior: &ResultMatrix,
-    journal: Option<&std::sync::Mutex<CellJournal>>,
+    journal: Option<&std::sync::Arc<std::sync::Mutex<CellJournal>>>,
 ) -> ResultMatrix {
     let tel = telemetry::global();
     let _span = tel.enter("matrix_continue");
@@ -829,62 +860,6 @@ pub fn continue_matrix(
         }
     }
     matrix
-}
-
-/// Map `f` over `items` on a scoped worker pool (one thread per available
-/// core, capped by the item count); results keep input order. Fault
-/// isolation: each call runs under `catch_unwind`, so one panicking item
-/// yields one `Err` slot instead of tearing down the pool, and the slot
-/// mutex is poison-tolerant (a poisoned lock only means some *other* slot
-/// panicked mid-store, which `catch_unwind` already prevents).
-///
-/// When `heed_shutdown` is set, workers stop claiming new items once the
-/// process shutdown flag is raised; unclaimed items come back as `None`
-/// (skipped), letting the pool drain gracefully after SIGINT/SIGTERM.
-fn par_map<T: Sync, R: Send>(
-    items: &[T],
-    f: impl Fn(&T) -> R + Sync,
-    heed_shutdown: bool,
-) -> Vec<Option<Result<R, String>>> {
-    use std::panic::{catch_unwind, AssertUnwindSafe};
-
-    let call = |item: &T| {
-        catch_unwind(AssertUnwindSafe(|| f(item))).map_err(error::panic_message)
-    };
-    let stop = || heed_shutdown && shutdown::requested();
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(items.len());
-    if threads <= 1 {
-        return items.iter().map(|item| if stop() { None } else { Some(call(item)) }).collect();
-    }
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut slots: Vec<Option<Result<R, String>>> = Vec::new();
-    slots.resize_with(items.len(), || None);
-    let slots_mutex = std::sync::Mutex::new(&mut slots);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                if stop() {
-                    break;
-                }
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let r = call(&items[i]);
-                slots_mutex.lock().unwrap_or_else(std::sync::PoisonError::into_inner)[i] = Some(r);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|r| match r {
-            Some(r) => Some(r),
-            // With shutdown requested, an empty slot is an item that was
-            // never claimed — skipped, not lost.
-            None if stop() => None,
-            None => Some(Err("worker died before filling its slot".into())),
-        })
-        .collect()
 }
 
 /// Either pipeline flavour behind one observer interface, so the guest-run
@@ -1114,34 +1089,20 @@ mod tests {
     }
 
     #[test]
-    fn par_map_isolates_a_panicking_item() {
-        let out = par_map(
-            &[1u32, 2, 3],
-            |&n| {
-                if n == 2 {
-                    panic!("boom on {n}");
-                }
-                n * 10
-            },
-            false,
+    fn canonical_combo_order_is_stable() {
+        let combos = matrix_combos(&[Workload::Stream]);
+        let labels: Vec<String> = combos
+            .iter()
+            .map(|(w, p, isa)| format!("{}/{}/{}", w.name(), p.label(), isa_label(*isa)))
+            .collect();
+        assert_eq!(
+            labels,
+            [
+                "STREAM/gcc-9.2/AArch64",
+                "STREAM/gcc-9.2/RISC-V",
+                "STREAM/gcc-12.2/AArch64",
+                "STREAM/gcc-12.2/RISC-V",
+            ]
         );
-        assert_eq!(out[0], Some(Ok(10)));
-        assert!(out[1]
-            .as_ref()
-            .is_some_and(|r| r.as_ref().is_err_and(|m| m.contains("boom on 2"))));
-        assert_eq!(out[2], Some(Ok(30)));
-    }
-
-    // The only test in this crate that touches the process-wide shutdown
-    // flag (every other caller passes heed_shutdown=false), so no lock is
-    // needed against parallel tests.
-    #[test]
-    fn par_map_skips_unclaimed_items_after_shutdown() {
-        shutdown::request();
-        let out = par_map(&[1u32, 2, 3], |&n| n * 10, true);
-        shutdown::reset();
-        assert!(out.iter().all(Option::is_none), "no item claimed once the flag is up");
-        let out = par_map(&[1u32, 2], |&n| n * 10, true);
-        assert_eq!(out, vec![Some(Ok(10)), Some(Ok(20))]);
     }
 }

@@ -1,0 +1,105 @@
+//! `isacmpd` — the always-on experiment daemon.
+//!
+//! Usage: isacmpd [--addr HOST:PORT] [--max-jobs N] [--jobs-dir PATH]
+//!                [--trace-dir PATH] [--warm MATRIX.JSON]
+//!                [--warm-size NAME] [--warm-engine NAME]
+//!                [--drain-secs SECS]
+//!
+//! Binds the listener (port 0 lets the OS pick), prints
+//! `isacmpd listening on <addr>` on stdout once ready, and serves until
+//! SIGTERM/SIGINT, at which point it checkpoints in-flight jobs via their
+//! cell journals, notifies connected clients with a typed `shutdown`
+//! frame, and exits 0.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use bench::cli;
+use isacmp::shutdown;
+use server::{Config, Server};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: isacmpd [--addr HOST:PORT] [--max-jobs N] [--jobs-dir PATH] \
+         [--trace-dir PATH] [--warm MATRIX.JSON] [--warm-size NAME] \
+         [--warm-engine NAME] [--drain-secs SECS]"
+    );
+    std::process::exit(2);
+}
+
+fn or_usage<T>(r: Result<T, String>) -> T {
+    r.unwrap_or_else(|e| {
+        eprintln!("isacmpd: {e}");
+        usage();
+    })
+}
+
+fn parse_config(args: &[String]) -> Config {
+    let mut cfg = Config::default();
+    if let Some(addr) = cli::flag_value(args, "--addr") {
+        cfg.addr = addr;
+    }
+    if let Some(n) = cli::flag_value(args, "--max-jobs") {
+        cfg.max_jobs = or_usage(
+            n.parse::<usize>()
+                .map_err(|_| format!("--max-jobs expects a non-negative integer, got '{n}'")),
+        );
+    }
+    if let Some(dir) = cli::flag_value(args, "--jobs-dir") {
+        cfg.jobs_dir = PathBuf::from(dir);
+    }
+    if let Some(dir) = cli::flag_value(args, "--trace-dir") {
+        cfg.trace_dir = Some(PathBuf::from(dir));
+    }
+    if let Some(path) = cli::flag_value(args, "--warm") {
+        cfg.warm = Some(PathBuf::from(path));
+    }
+    if let Some(name) = cli::flag_value(args, "--warm-size") {
+        cfg.warm_size = or_usage(cli::size_from_name(&name));
+    }
+    if let Some(name) = cli::flag_value(args, "--warm-engine") {
+        cfg.warm_engine = or_usage(
+            name.parse()
+                .map_err(|e: String| format!("--warm-engine: {e}")),
+        );
+    }
+    if let Some(s) = cli::flag_value(args, "--drain-secs") {
+        let secs = or_usage(
+            s.parse::<f64>()
+                .ok()
+                .filter(|v| v.is_finite() && *v >= 0.0)
+                .ok_or_else(|| format!("--drain-secs expects a non-negative number, got '{s}'")),
+        );
+        cfg.drain_timeout = Duration::from_secs_f64(secs);
+    }
+    cfg
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if cli::has_flag(&args, "--help") || cli::has_flag(&args, "-h") {
+        usage();
+    }
+    shutdown::install();
+    let cfg = parse_config(&args);
+    let server = match Server::bind(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("isacmpd: {e}");
+            std::process::exit(1);
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => {
+            // CI and scripts scrape this line for the bound port.
+            println!("isacmpd listening on {addr}");
+            use std::io::Write;
+            let _ = std::io::stdout().flush();
+        }
+        Err(e) => {
+            eprintln!("isacmpd: {e}");
+            std::process::exit(1);
+        }
+    }
+    std::process::exit(server.run());
+}

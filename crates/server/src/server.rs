@@ -1,0 +1,568 @@
+//! The `isacmpd` daemon: listener, connection handling, and the job
+//! runner that unifies the shard pool, the result cache and the per-job
+//! cell journals.
+//!
+//! Threading model: one OS thread per client connection (connections are
+//! few and mostly idle), all emulation on the process-wide work-stealing
+//! shard pool ([`isacmp::pool::global`]). Connection threads may block —
+//! on follower flights, on the progress channel — but pool tasks never
+//! block on other pool tasks (the pool's deadlock rule), which is why
+//! cache waits live here and not in the cell tasks.
+//!
+//! Crash safety: every job journals its cell outcomes (through the same
+//! `isacmp::journal_outcome` path as `make_tables`) to a per-spec journal
+//! under the jobs directory. A `kill -9` loses at most the cells in
+//! flight; when the restarted daemon receives the same spec again it
+//! recovers every recorded outcome and runs only the rest, reassembling
+//! in canonical order — the served matrix is byte-identical to an
+//! uninterrupted run. On SIGTERM/SIGINT the daemon stops accepting,
+//! interrupts in-flight cells at the next masked boundary, sends every
+//! client a typed `shutdown` frame, keeps the journals, and exits 0.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use isacmp::{
+    isa_label, journal_outcome, matrix_combos, pool, read_journal, record_outcome, run_cell_opts,
+    shutdown, CellError, CellJournal, ExperimentCell, ResultMatrix, SizeClass, Workload,
+};
+
+use crate::cache::{CellKey, Claim, ResultCache};
+use crate::proto::{self, ClientMsg, FrameReader, JobSpec, ProtoError, ReadOutcome, ServerMsg, StatsBody};
+
+/// How often idle loops (accept, connection poll, flight waits) check the
+/// shutdown flag.
+const POLL: Duration = Duration::from_millis(25);
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Listen address; use port 0 to let the OS pick (the bound address
+    /// is printed / queryable via [`Server::local_addr`]).
+    pub addr: String,
+    /// Admission bound: jobs in flight beyond this are rejected with a
+    /// typed `busy` frame.
+    pub max_jobs: usize,
+    /// Per-job cell journals live here (`job-<speckey>.journal.jsonl`).
+    pub jobs_dir: PathBuf,
+    /// Trace capture/replay dir for trace-analysis jobs.
+    pub trace_dir: Option<PathBuf>,
+    /// Warm the cell cache from a one-shot `matrix.json` at startup.
+    pub warm: Option<PathBuf>,
+    /// Size class the warm artifact was measured at.
+    pub warm_size: SizeClass,
+    /// Engine the warm artifact was measured with.
+    pub warm_engine: isacmp::Engine,
+    /// How long `run` waits for connection threads to drain after a
+    /// shutdown signal before detaching them.
+    pub drain_timeout: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            addr: "127.0.0.1:0".into(),
+            max_jobs: 64,
+            jobs_dir: PathBuf::from("results/jobs"),
+            trace_dir: None,
+            warm: None,
+            warm_size: SizeClass::Small,
+            warm_engine: isacmp::Engine::default(),
+            drain_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Refcounted registry of open per-job journals, so concurrent
+/// submissions of the same spec share one journal file (and the file is
+/// deleted only when the last clean job releases it; a crashed or
+/// interrupted job leaves it behind for resume).
+#[derive(Default)]
+struct JournalRegistry {
+    map: Mutex<HashMap<u64, RegistryEntry>>,
+}
+
+struct RegistryEntry {
+    refs: usize,
+    delete_on_last: bool,
+    path: PathBuf,
+    journal: Option<Arc<Mutex<CellJournal>>>,
+}
+
+impl JournalRegistry {
+    /// Open (or share) the journal for `key`. Journal I/O failures
+    /// degrade to journal-less operation, mirroring `make_tables`.
+    fn acquire(
+        &self,
+        key: u64,
+        path: &PathBuf,
+        size: &str,
+        manifest: Option<&isacmp::CampaignManifest>,
+    ) -> Option<Arc<Mutex<CellJournal>>> {
+        let mut map = self.map.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(e) = map.get_mut(&key) {
+            e.refs += 1;
+            return e.journal.clone();
+        }
+        let opened = if path.exists() {
+            CellJournal::append_to(path)
+        } else {
+            CellJournal::create(path, size, manifest)
+        };
+        let journal = match opened {
+            Ok(j) => Some(Arc::new(Mutex::new(j))),
+            Err(e) => {
+                eprintln!(
+                    "isacmpd: warning: cannot open {}: {e} (job running without crash journal)",
+                    path.display()
+                );
+                None
+            }
+        };
+        map.insert(
+            key,
+            RegistryEntry {
+                refs: 1,
+                delete_on_last: false,
+                path: path.clone(),
+                journal: journal.clone(),
+            },
+        );
+        journal
+    }
+
+    /// Release one job's hold. `completed` means the job resolved every
+    /// combo (no interruption) — when the last such holder releases, the
+    /// journal file has served its purpose and is removed.
+    fn release(&self, key: u64, completed: bool) {
+        let mut map = self.map.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let Some(e) = map.get_mut(&key) else { return };
+        e.refs -= 1;
+        e.delete_on_last |= completed;
+        if e.refs == 0 {
+            if e.delete_on_last {
+                let _ = std::fs::remove_file(&e.path);
+            }
+            map.remove(&key);
+        }
+    }
+}
+
+/// Daemon-wide shared state.
+pub struct State {
+    cfg: Config,
+    cache: ResultCache,
+    journals: JournalRegistry,
+    active: AtomicUsize,
+    jobs_total: AtomicU64,
+}
+
+impl State {
+    fn stats(&self) -> StatsBody {
+        let (hits, misses) = self.cache.stats();
+        let pool = pool::global().stats();
+        StatsBody {
+            jobs_total: self.jobs_total.load(Ordering::Relaxed),
+            jobs_active: self.active.load(Ordering::Relaxed) as u64,
+            cache_hits: hits,
+            cache_misses: misses,
+            cache_cells: self.cache.len() as u64,
+            pool_workers: pool.workers as u64,
+            pool_queued: pool.queued as u64,
+            pool_executed: pool.executed,
+            pool_stolen: pool.stolen,
+        }
+    }
+
+    /// Publish the serving gauges the bench trajectory records.
+    fn publish_gauges(&self) {
+        let tel = isacmp::telemetry::global();
+        let s = self.stats();
+        tel.gauge_set("server_jobs_total", s.jobs_total as f64);
+        tel.gauge_set("cache_hits", s.cache_hits as f64);
+        tel.gauge_set("cache_misses", s.cache_misses as f64);
+    }
+}
+
+/// Decrement the active-jobs counter on every exit path.
+struct ActiveGuard<'a>(&'a State);
+
+impl Drop for ActiveGuard<'_> {
+    fn drop(&mut self) {
+        self.0.active.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// FNV-1a, the per-spec journal file name hash. Stable across builds and
+/// platforms (unlike `DefaultHasher`), which is what lets a *restarted*
+/// daemon find a killed run's journal from the resubmitted spec.
+fn fnv1a64(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// The daemon.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<State>,
+}
+
+impl Server {
+    /// Bind the listener, create the jobs dir, and warm the cache if
+    /// configured.
+    pub fn bind(cfg: Config) -> io::Result<Server> {
+        std::fs::create_dir_all(&cfg.jobs_dir)?;
+        if let Some(dir) = &cfg.trace_dir {
+            std::fs::create_dir_all(dir)?;
+        }
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let cache = ResultCache::new();
+        if let Some(warm) = &cfg.warm {
+            let text = std::fs::read_to_string(warm)?;
+            let matrix = ResultMatrix::from_json(&text)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            let n = cache.warm(&matrix, cfg.warm_size.name(), cfg.warm_engine.name());
+            eprintln!("isacmpd: cache warmed with {n} cell(s) from {}", warm.display());
+        }
+        Ok(Server {
+            listener,
+            state: Arc::new(State {
+                cfg,
+                cache,
+                journals: JournalRegistry::default(),
+                active: AtomicUsize::new(0),
+                jobs_total: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accept-and-serve until a shutdown is requested (SIGTERM/SIGINT or
+    /// `shutdown::request()`), then drain. Returns the process exit code
+    /// (0 — an orderly drain is success).
+    pub fn run(self) -> i32 {
+        self.listener
+            .set_nonblocking(true)
+            .expect("listener nonblocking mode is available on all supported platforms");
+        let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !shutdown::requested() {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    // Accepted sockets must be blocking regardless of what
+                    // they inherit; per-read timeouts do the idle polling.
+                    let _ = stream.set_nonblocking(false);
+                    let state = Arc::clone(&self.state);
+                    conns.push(std::thread::spawn(move || handle_conn(state, stream)));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
+                Err(e) => {
+                    eprintln!("isacmpd: accept error: {e}");
+                    std::thread::sleep(POLL);
+                }
+            }
+            conns.retain(|h| !h.is_finished());
+        }
+        // Drain: connection threads observe the flag themselves — idle
+        // ones send the shutdown frame immediately, busy ones after their
+        // interrupted job flushes its journal.
+        let signal = shutdown::last_signal()
+            .map(shutdown::signal_name)
+            .unwrap_or_else(|| "shutdown request".into());
+        eprintln!("isacmpd: {signal}: draining {} connection(s) ...", conns.len());
+        let deadline = Instant::now() + self.state.cfg.drain_timeout;
+        while Instant::now() < deadline && conns.iter().any(|h| !h.is_finished()) {
+            std::thread::sleep(POLL);
+        }
+        let stranded = conns.iter().filter(|h| !h.is_finished()).count();
+        if stranded > 0 {
+            eprintln!("isacmpd: drain timeout; detaching {stranded} connection(s)");
+        }
+        eprintln!("isacmpd: bye");
+        0
+    }
+}
+
+/// Serve one client connection until it closes, errors, or the daemon
+/// drains.
+fn handle_conn(state: Arc<State>, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(POLL));
+    let mut reader = FrameReader::new();
+    loop {
+        if shutdown::requested() {
+            let signal = shutdown::last_signal()
+                .map(shutdown::signal_name)
+                .unwrap_or_else(|| "shutdown request".into());
+            let _ = proto::send(&mut stream, &ServerMsg::Shutdown { signal });
+            return;
+        }
+        match reader.poll(&mut stream) {
+            Ok(ReadOutcome::Frame(j)) => match ClientMsg::from_json(&j) {
+                Ok(ClientMsg::Ping) => {
+                    if proto::send(&mut stream, &ServerMsg::Pong).is_err() {
+                        return;
+                    }
+                }
+                Ok(ClientMsg::Stats) => {
+                    if proto::send(&mut stream, &ServerMsg::Stats(state.stats())).is_err() {
+                        return;
+                    }
+                }
+                Ok(ClientMsg::Submit { job }) => {
+                    if submit(&state, &job, &mut stream).is_err() {
+                        return;
+                    }
+                }
+                // Malformed messages get a typed rejection, then the
+                // connection closes — a peer this confused won't frame the
+                // next message correctly either.
+                Err(e) => {
+                    let _ = proto::send(&mut stream, &ServerMsg::Error { message: e.to_string() });
+                    return;
+                }
+            },
+            Ok(ReadOutcome::Idle) => continue,
+            Ok(ReadOutcome::Closed) => return,
+            Err(e) => {
+                let _ = proto::send(&mut stream, &ServerMsg::Error { message: e.to_string() });
+                return;
+            }
+        }
+    }
+}
+
+/// Admission control + job execution for one submit.
+fn submit(state: &Arc<State>, spec: &JobSpec, stream: &mut TcpStream) -> Result<(), ProtoError> {
+    let limit = state.cfg.max_jobs;
+    let prev = state.active.fetch_add(1, Ordering::SeqCst);
+    if prev >= limit {
+        state.active.fetch_sub(1, Ordering::SeqCst);
+        return proto::send(
+            stream,
+            &ServerMsg::Busy { active: prev as u64, limit: limit as u64 },
+        );
+    }
+    let _guard = ActiveGuard(state);
+    state.jobs_total.fetch_add(1, Ordering::Relaxed);
+    let result = run_job(state, spec, stream);
+    state.publish_gauges();
+    result
+}
+
+/// One cell's resolution, as fed into `isacmp::record_outcome`.
+type Outcome = Result<Result<ExperimentCell, CellError>, String>;
+
+/// Execute one job: plan combos in canonical order, recover journaled
+/// outcomes, resolve the rest through the cache / the shard pool, stream
+/// progress, and send the result (or a typed shutdown frame).
+fn run_job(state: &Arc<State>, spec: &JobSpec, stream: &mut TcpStream) -> Result<(), ProtoError> {
+    let (opts, manifest) = match spec.matrix_options(state.cfg.trace_dir.clone()) {
+        Ok(x) => x,
+        Err(e) => return proto::send(stream, &ServerMsg::Error { message: e }),
+    };
+    let combos = matrix_combos(&Workload::ALL);
+    let total = combos.len() as u64;
+    let size = spec.size;
+
+    // Journal recovery: a restarted daemon finds a killed run's records
+    // by the spec's provenance key.
+    let speckey = fnv1a64(&spec.canonical());
+    let journal_path =
+        state.cfg.jobs_dir.join(format!("job-{speckey:016x}.journal.jsonl"));
+    let prior = match journal_path.exists() {
+        true => match read_journal(&journal_path) {
+            Ok(j) if j.size == size.name() => j.matrix,
+            // A mismatched or unreadable journal is not trusted; the job
+            // recomputes (and re-records) everything.
+            _ => ResultMatrix::default(),
+        },
+        false => ResultMatrix::default(),
+    };
+    let journal = state.journals.acquire(speckey, &journal_path, size.name(), manifest.as_ref());
+
+    let (tx, rx) = mpsc::channel::<(usize, Outcome)>();
+    let mut slots: Vec<Option<Outcome>> = (0..combos.len()).map(|_| None).collect();
+    let mut follows: Vec<(usize, CellKey, Arc<crate::cache::Flight>)> = Vec::new();
+    let mut outstanding = 0usize;
+    let (mut hits, mut misses, mut done) = (0u64, 0u64, 0u64);
+
+    for (i, &(w, p, isa)) in combos.iter().enumerate() {
+        let (wn, pl, il) = (w.name(), p.label(), isa_label(isa));
+        let label = format!("{wn}/{pl}/{il}");
+        if prior.get(wn, pl, il).is_some() || prior.get_failure(wn, pl, il).is_some() {
+            // Recovered from the journal; resolved at assembly.
+            done += 1;
+            proto::send(stream, &ServerMsg::Progress { done, total, cell: label, cached: true })?;
+            continue;
+        }
+        let cell_opts = opts.cell_options(wn, pl, il);
+        // Fault-armed cells are not reusable measurements — never cached.
+        let cacheable = cell_opts.fault.is_none() && cell_opts.campaign.is_none();
+        if !cacheable {
+            misses += 1;
+            let tx = tx.clone();
+            let journal = journal.clone();
+            let retries = opts.retries;
+            pool::global().submit(Box::new(move || {
+                let outcome = run_cell_opts(w, isa, &p, size, &cell_opts);
+                journal_outcome(journal.as_deref(), w.name(), p.label(), isa_label(isa), &outcome, retries);
+                let _ = tx.send((i, Ok(outcome)));
+            }));
+            outstanding += 1;
+            continue;
+        }
+        let key = CellKey::new(wn, pl, il, size.name(), spec.engine.name());
+        match state.cache.claim(&key) {
+            Claim::Hit(cell) => {
+                hits += 1;
+                // Journal the hit too: this job's journal is then
+                // self-contained for resume on a cold (cache-less) restart.
+                journal_outcome(journal.as_deref(), wn, pl, il, &Ok(cell.clone()), opts.retries);
+                slots[i] = Some(Ok(Ok(cell)));
+                done += 1;
+                proto::send(stream, &ServerMsg::Progress { done, total, cell: label, cached: true })?;
+            }
+            Claim::Lead => {
+                misses += 1;
+                let tx = tx.clone();
+                let journal = journal.clone();
+                let cache_state = Arc::clone(state);
+                let key = key.clone();
+                let retries = opts.retries;
+                pool::global().submit(Box::new(move || {
+                    let outcome = run_cell_opts(w, isa, &p, size, &cell_opts);
+                    let for_cache = match &outcome {
+                        Ok(cell) => Ok(cell.clone()),
+                        Err(e) => Err(e.to_string()),
+                    };
+                    cache_state.cache.complete(&key, for_cache);
+                    journal_outcome(journal.as_deref(), w.name(), p.label(), isa_label(isa), &outcome, retries);
+                    let _ = tx.send((i, Ok(outcome)));
+                }));
+                outstanding += 1;
+            }
+            Claim::Follow(flight) => {
+                hits += 1;
+                follows.push((i, key, flight));
+            }
+        }
+    }
+    drop(tx);
+
+    // Drain this job's own pool tasks, streaming progress as cells land.
+    // Interrupted cells (shutdown) come back quickly as `Interrupted` and
+    // resolve the loop; no special case needed.
+    while outstanding > 0 {
+        match rx.recv_timeout(Duration::from_millis(50)) {
+            Ok((i, outcome)) => {
+                let (w, p, isa) = combos[i];
+                let label = format!("{}/{}/{}", w.name(), p.label(), isa_label(isa));
+                slots[i] = Some(outcome);
+                outstanding -= 1;
+                done += 1;
+                proto::send(stream, &ServerMsg::Progress { done, total, cell: label, cached: false })?;
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => continue,
+            // All senders gone without filling every slot: a pool worker
+            // died. The missing slots degrade to recorded failures below.
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+
+    // Resolve cells another job is computing. Waiting happens here, on
+    // the connection thread; if that leader fails or is interrupted we
+    // re-claim (possibly becoming the new leader and computing inline).
+    for (i, key, mut flight) in follows {
+        let (w, p, isa) = combos[i];
+        let (wn, pl, il) = (w.name(), p.label(), isa_label(isa));
+        loop {
+            match flight.wait_for(Duration::from_millis(100)) {
+                Some(Ok(cell)) => {
+                    journal_outcome(journal.as_deref(), wn, pl, il, &Ok(cell.clone()), opts.retries);
+                    slots[i] = Some(Ok(Ok(cell)));
+                    done += 1;
+                    let label = format!("{wn}/{pl}/{il}");
+                    proto::send(stream, &ServerMsg::Progress { done, total, cell: label, cached: true })?;
+                    break;
+                }
+                Some(Err(_leader_failed)) => match state.cache.claim(&key) {
+                    Claim::Hit(cell) => {
+                        journal_outcome(journal.as_deref(), wn, pl, il, &Ok(cell.clone()), opts.retries);
+                        slots[i] = Some(Ok(Ok(cell)));
+                        done += 1;
+                        break;
+                    }
+                    Claim::Follow(next) => flight = next,
+                    Claim::Lead => {
+                        // Compute inline — this is a connection thread, so
+                        // blocking here is fine.
+                        let cell_opts = opts.cell_options(wn, pl, il);
+                        let outcome = run_cell_opts(w, isa, &p, size, &cell_opts);
+                        let for_cache = match &outcome {
+                            Ok(cell) => Ok(cell.clone()),
+                            Err(e) => Err(e.to_string()),
+                        };
+                        state.cache.complete(&key, for_cache);
+                        journal_outcome(journal.as_deref(), wn, pl, il, &outcome, opts.retries);
+                        slots[i] = Some(Ok(outcome));
+                        done += 1;
+                        break;
+                    }
+                },
+                None => {
+                    if shutdown::requested() {
+                        // Stop waiting; the slot stays unresolved and the
+                        // journal's gap marks it for resume.
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    // Reassemble in canonical order through the same fold as every other
+    // matrix entry point — the byte-identity invariant.
+    let mut matrix = ResultMatrix::default();
+    for (i, &(w, p, isa)) in combos.iter().enumerate() {
+        let (wn, pl, il) = (w.name(), p.label(), isa_label(isa));
+        if let Some(c) = prior.get(wn, pl, il) {
+            matrix.cells.push(c.clone());
+        } else if let Some(f) = prior.get_failure(wn, pl, il) {
+            matrix.failures.push(f.clone());
+        } else if let Some(outcome) = slots[i].take() {
+            record_outcome(&mut matrix, wn, pl, il, outcome, opts.retries);
+        }
+    }
+    let completed = (matrix.cells.len() + matrix.failures.len()) as u64 == total;
+    state.journals.release(speckey, completed);
+
+    if !completed {
+        // Interrupted mid-job: the journal keeps what finished; the
+        // client learns this was a drain, not a result.
+        let signal = shutdown::last_signal()
+            .map(shutdown::signal_name)
+            .unwrap_or_else(|| "shutdown request".into());
+        return proto::send(stream, &ServerMsg::Shutdown { signal });
+    }
+    proto::send(
+        stream,
+        &ServerMsg::Result {
+            hits,
+            misses,
+            failures: matrix.failures.len() as u64,
+            matrix_json: matrix.to_json(),
+        },
+    )
+}

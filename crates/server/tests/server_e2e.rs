@@ -1,0 +1,250 @@
+//! End-to-end daemon tests: an in-process `Server` on a loopback port,
+//! driven through the real `Client`.
+//!
+//! The shutdown flag is process-global, so every test that runs a server
+//! serializes behind [`E2E_LOCK`] — a drained test server must not take a
+//! concurrently-running one down with it.
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::{Mutex, PoisonError};
+
+use isacmp::{
+    matrix_combos, run_matrix_opts, shutdown, CellJournal, MatrixOptions, SizeClass, Workload,
+};
+use server::{Client, Config, JobOutcome, JobSpec, Server, ServerMsg};
+
+static E2E_LOCK: Mutex<()> = Mutex::new(());
+
+/// A unique scratch dir per test (std-only; no tempfile crate).
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("isacmpd-e2e-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// What a one-shot `make_tables table1 --size test` run would produce —
+/// the byte-identity reference for daemon-served matrices.
+fn one_shot_reference() -> String {
+    let opts = MatrixOptions { retries: 1, heed_shutdown: true, ..Default::default() };
+    run_matrix_opts(&Workload::ALL, SizeClass::Test, &opts).to_json()
+}
+
+/// Boot a server, run `f` against it, then drain it and restore the
+/// global shutdown flag.
+fn with_server(cfg: Config, f: impl FnOnce(SocketAddr)) {
+    let _guard = E2E_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    shutdown::reset();
+    let srv = Server::bind(cfg).expect("bind loopback");
+    let addr = srv.local_addr().expect("bound addr");
+    let handle = std::thread::spawn(move || srv.run());
+    f(addr);
+    shutdown::request();
+    assert_eq!(handle.join().expect("server thread"), 0, "drain must exit 0");
+    shutdown::reset();
+}
+
+fn test_config(tag: &str) -> Config {
+    Config {
+        jobs_dir: scratch(tag),
+        max_jobs: 8,
+        drain_timeout: std::time::Duration::from_secs(2),
+        ..Config::default()
+    }
+}
+
+fn expect_done(outcome: JobOutcome) -> (u64, u64, u64, String) {
+    match outcome {
+        JobOutcome::Done { hits, misses, failures, matrix_json } => {
+            (hits, misses, failures, matrix_json)
+        }
+        other => panic!("expected a served matrix, got {other:?}"),
+    }
+}
+
+#[test]
+fn served_matrix_is_byte_identical_to_one_shot_run() {
+    let reference = one_shot_reference();
+    with_server(test_config("byte-identity"), |addr| {
+        let mut client = Client::connect(&addr.to_string()).expect("connect");
+        let total_cells = matrix_combos(&Workload::ALL).len() as u64;
+        let mut progress = 0u64;
+        let mut last_done = 0u64;
+        let outcome = client
+            .submit(&JobSpec::matrix(SizeClass::Test), |done, total, cell, _cached| {
+                assert_eq!(total, total_cells);
+                assert!(!cell.is_empty());
+                progress += 1;
+                last_done = done;
+            })
+            .expect("submit");
+        let (hits, misses, failures, matrix_json) = expect_done(outcome);
+        assert_eq!(progress, total_cells, "every cell streams a progress frame");
+        assert_eq!(last_done, total_cells);
+        assert_eq!(failures, 0);
+        assert_eq!(hits + misses, total_cells);
+        assert_eq!(matrix_json, reference, "daemon bytes == one-shot bytes");
+    });
+}
+
+#[test]
+fn repeated_submissions_are_served_from_the_cache() {
+    with_server(test_config("cache-hits"), |addr| {
+        let mut client = Client::connect(&addr.to_string()).expect("connect");
+        let spec = JobSpec::matrix(SizeClass::Test);
+        let total = matrix_combos(&Workload::ALL).len() as u64;
+
+        let (hits, misses, _, first) = expect_done(client.submit(&spec, |_, _, _, _| {}).unwrap());
+        assert_eq!((hits, misses), (0, total), "cold cache: all misses");
+
+        let mut cached_frames = 0u64;
+        let outcome = client
+            .submit(&spec, |_, _, _, cached| {
+                if cached {
+                    cached_frames += 1;
+                }
+            })
+            .unwrap();
+        let (hits, misses, _, second) = expect_done(outcome);
+        assert_eq!((hits, misses), (total, 0), "warm cache: all hits");
+        assert_eq!(cached_frames, total, "every progress frame marked cached");
+        assert_eq!(first, second, "cached bytes == computed bytes");
+
+        let mut probe = Client::connect(&addr.to_string()).expect("connect");
+        let stats = probe.stats().expect("stats");
+        assert_eq!(stats.jobs_total, 2);
+        assert_eq!(stats.cache_cells, total);
+        assert_eq!(stats.cache_hits, total);
+        assert_eq!(stats.cache_misses, total);
+    });
+}
+
+#[test]
+fn warm_start_serves_a_one_shot_artifact_without_recomputing() {
+    let reference = one_shot_reference();
+    let mut cfg = test_config("warm-start");
+    let artifact = cfg.jobs_dir.join("matrix.json");
+    std::fs::write(&artifact, &reference).expect("write artifact");
+    cfg.warm = Some(artifact);
+    cfg.warm_size = SizeClass::Test;
+    with_server(cfg, |addr| {
+        let mut client = Client::connect(&addr.to_string()).expect("connect");
+        let total = matrix_combos(&Workload::ALL).len() as u64;
+        let (hits, misses, _, served) =
+            expect_done(client.submit(&JobSpec::matrix(SizeClass::Test), |_, _, _, _| {}).unwrap());
+        assert_eq!((hits, misses), (total, 0), "warm cache: nothing recomputed");
+        assert_eq!(served, reference);
+    });
+}
+
+/// FNV-1a, matching the daemon's journal file naming (the algorithm is
+/// pinned by `job_spec_canonical_is_stable_and_discriminating` plus this
+/// test: together they freeze the journal-recovery contract).
+fn fnv1a64(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[test]
+fn restarted_daemon_recovers_a_killed_jobs_journal() {
+    // Simulate the kill -9 lifecycle: a journal holding every cell of a
+    // previous run sits in the jobs dir; a *fresh* daemon (cold cache)
+    // receiving the same spec must serve entirely from the journal —
+    // zero cells recomputed — and produce the exact one-shot bytes.
+    let reference_matrix = {
+        let opts = MatrixOptions { retries: 1, heed_shutdown: true, ..Default::default() };
+        run_matrix_opts(&Workload::ALL, SizeClass::Test, &opts)
+    };
+    let cfg = test_config("journal-recovery");
+    let spec = JobSpec::matrix(SizeClass::Test);
+    let journal_path =
+        cfg.jobs_dir.join(format!("job-{:016x}.journal.jsonl", fnv1a64(&spec.canonical())));
+    let mut journal =
+        CellJournal::create(&journal_path, SizeClass::Test.name(), None).expect("create journal");
+    for cell in &reference_matrix.cells {
+        journal.record_cell(cell).expect("record");
+    }
+    drop(journal);
+
+    with_server(cfg, |addr| {
+        let mut client = Client::connect(&addr.to_string()).expect("connect");
+        let total = matrix_combos(&Workload::ALL).len() as u64;
+        let mut recovered = 0u64;
+        let outcome = client
+            .submit(&spec, |_, _, _, cached| {
+                if cached {
+                    recovered += 1;
+                }
+            })
+            .unwrap();
+        let (hits, misses, failures, served) = expect_done(outcome);
+        assert_eq!(recovered, total, "every cell recovered from the journal");
+        assert_eq!((hits, misses, failures), (0, 0, 0), "nothing computed, nothing cached");
+        assert_eq!(served, reference_matrix.to_json(), "recovered bytes == one-shot bytes");
+    });
+    assert!(!journal_path.exists(), "a cleanly completed job retires its journal");
+}
+
+#[test]
+fn admission_control_rejects_with_typed_busy() {
+    let cfg = Config { max_jobs: 0, ..test_config("admission") };
+    with_server(cfg, |addr| {
+        let mut client = Client::connect(&addr.to_string()).expect("connect");
+        match client.submit(&JobSpec::matrix(SizeClass::Test), |_, _, _, _| {}).unwrap() {
+            JobOutcome::Busy { active, limit } => {
+                assert_eq!(limit, 0);
+                assert_eq!(active, 0);
+            }
+            other => panic!("expected busy, got {other:?}"),
+        }
+        // The connection survives a busy rejection.
+        client.ping().expect("ping after busy");
+    });
+}
+
+#[test]
+fn ping_stats_and_bad_specs_on_one_connection() {
+    with_server(test_config("ping-stats"), |addr| {
+        let mut client = Client::connect(&addr.to_string()).expect("connect");
+        client.ping().expect("ping");
+        let stats = client.stats().expect("stats");
+        assert_eq!(stats.jobs_total, 0);
+        assert!(stats.pool_workers > 0, "shard pool is live");
+
+        // A structurally-invalid spec (campaign kind, no campaign spec)
+        // is rejected with a typed error at submit time, client-side or
+        // server-side — either way the submit call errors, not panics.
+        let mut bad = JobSpec::matrix(SizeClass::Test);
+        bad.kind = server::JobKind::Campaign;
+        let err = client.submit(&bad, |_, _, _, _| {}).expect_err("invalid spec");
+        assert!(err.to_string().contains("campaign"), "typed message, got: {err}");
+    });
+}
+
+#[test]
+fn draining_daemon_sends_typed_shutdown_frames() {
+    let _guard = E2E_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    shutdown::reset();
+    let srv = Server::bind(test_config("drain")).expect("bind");
+    let addr = srv.local_addr().expect("addr");
+    let handle = std::thread::spawn(move || srv.run());
+    let mut client = Client::connect(&addr.to_string()).expect("connect");
+    // The ping round-trip proves a connection thread is attached before
+    // the drain starts (a merely-queued connection is owed nothing).
+    client.ping().expect("ping");
+
+    shutdown::request();
+    // The idle connection notices the flag within one poll interval and
+    // says goodbye with a typed frame before closing.
+    match client.read_next().expect("shutdown frame") {
+        ServerMsg::Shutdown { signal } => assert!(!signal.is_empty()),
+        other => panic!("expected shutdown frame, got {other:?}"),
+    }
+    assert_eq!(handle.join().expect("server thread"), 0, "SIGTERM drain exits 0");
+    shutdown::reset();
+}

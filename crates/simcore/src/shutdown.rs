@@ -13,20 +13,27 @@
 //! can still be set programmatically via [`request`] (which is also how
 //! tests drive the interruption paths deterministically).
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI32, Ordering};
 
 /// The process-wide shutdown request flag.
 static SHUTDOWN: AtomicBool = AtomicBool::new(false);
 
+/// Which signal raised the flag (0 = none / programmatic [`request`]).
+/// Long-lived processes (the `isacmpd` daemon) report it in their typed
+/// `Shutdown` frame so clients can tell SIGTERM drain from Ctrl-C.
+static LAST_SIGNAL: AtomicI32 = AtomicI32::new(0);
+
 /// Conventional exit status for a run ended by SIGINT/SIGTERM (128 + 2).
 pub const EXIT_INTERRUPTED: i32 = 130;
+
+/// `SIGINT` signal number (keyboard interrupt).
+pub const SIGINT: i32 = 2;
+/// `SIGTERM` signal number (orderly termination, e.g. service managers).
+pub const SIGTERM: i32 = 15;
 
 #[cfg(unix)]
 mod sys {
     use std::sync::atomic::Ordering;
-
-    pub const SIGINT: i32 = 2;
-    pub const SIGTERM: i32 = 15;
 
     extern "C" {
         // `signal(2)` from libc, which std links unconditionally on Unix.
@@ -38,15 +45,16 @@ mod sys {
 
     const SIG_ERR: usize = usize::MAX;
 
-    extern "C" fn on_signal(_signum: i32) {
-        // Only async-signal-safe operation: a relaxed atomic store.
+    extern "C" fn on_signal(signum: i32) {
+        // Only async-signal-safe operations: relaxed atomic stores.
+        super::LAST_SIGNAL.store(signum, Ordering::Relaxed);
         super::SHUTDOWN.store(true, Ordering::Relaxed);
     }
 
     pub fn install() -> bool {
         let handler = on_signal as extern "C" fn(i32) as *const () as usize;
-        let a = unsafe { signal(SIGINT, handler) };
-        let b = unsafe { signal(SIGTERM, handler) };
+        let a = unsafe { signal(super::SIGINT, handler) };
+        let b = unsafe { signal(super::SIGTERM, handler) };
         a != SIG_ERR && b != SIG_ERR
     }
 }
@@ -78,10 +86,33 @@ pub fn request() {
     SHUTDOWN.store(true, Ordering::Relaxed);
 }
 
-/// Clear the flag. For tests and for long-lived processes that survive an
-/// orderly interruption (the CLI bins exit instead).
+/// The signal that raised the shutdown flag, when one did:
+/// `Some(SIGINT)` / `Some(SIGTERM)` after a real signal, `None` when the
+/// flag is down or was raised programmatically via [`request`].
+pub fn last_signal() -> Option<i32> {
+    match LAST_SIGNAL.load(Ordering::Relaxed) {
+        0 => None,
+        sig => Some(sig),
+    }
+}
+
+/// Human-readable name for a shutdown signal number ("SIGINT",
+/// "SIGTERM", or the number itself) — the label daemon `Shutdown` frames
+/// and drain logs carry.
+pub fn signal_name(sig: i32) -> String {
+    match sig {
+        SIGINT => "SIGINT".to_string(),
+        SIGTERM => "SIGTERM".to_string(),
+        other => format!("signal {other}"),
+    }
+}
+
+/// Clear the flag (and the recorded signal). For tests and for long-lived
+/// processes that survive an orderly interruption (the CLI bins exit
+/// instead).
 pub fn reset() {
     SHUTDOWN.store(false, Ordering::Relaxed);
+    LAST_SIGNAL.store(0, Ordering::Relaxed);
 }
 
 /// Serializes in-crate tests that toggle the process-wide flag, so they
@@ -100,13 +131,41 @@ mod tests {
         assert!(!requested());
         request();
         assert!(requested());
+        assert_eq!(last_signal(), None, "programmatic request records no signal");
         reset();
         assert!(!requested());
+        assert_eq!(last_signal(), None);
+    }
+
+    #[test]
+    fn signal_names_are_stable() {
+        assert_eq!(signal_name(SIGINT), "SIGINT");
+        assert_eq!(signal_name(SIGTERM), "SIGTERM");
+        assert_eq!(signal_name(9), "signal 9");
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn real_signal_records_its_number() {
+        let _guard = TEST_FLAG_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        assert!(install());
+        reset();
+        // Raise SIGTERM at ourselves through libc; the handler must set
+        // both the flag and the signal number.
+        extern "C" {
+            fn raise(signum: i32) -> i32;
+        }
+        assert_eq!(unsafe { raise(SIGTERM) }, 0);
+        // signal delivery to the current thread is synchronous for raise().
+        assert!(requested());
+        assert_eq!(last_signal(), Some(SIGTERM));
+        reset();
     }
 
     #[cfg(unix)]
     #[test]
     fn install_succeeds_on_unix() {
+        let _guard = TEST_FLAG_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         assert!(install());
         reset();
     }
