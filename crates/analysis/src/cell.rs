@@ -65,6 +65,10 @@ impl CellAnalyses {
                 .iter()
                 .map(|s| (s.size, s.mean_cp(), s.mean_ilp()))
                 .collect(),
+            // The fusion pass rides outside the bundle (crates/fusion
+            // depends on this crate); the orchestration layer merges its
+            // report in after `into_cell`.
+            fused: None,
         }
     }
 }

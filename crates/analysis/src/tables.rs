@@ -25,6 +25,36 @@ pub struct ExperimentCell {
     pub kernels: Vec<(String, u64)>,
     /// Windowed-CP stats: (window size, mean CP, mean ILP).
     pub windows: Vec<(usize, f64, f64)>,
+    /// Macro-op fusion measurements, present only when the cell ran with
+    /// the fusion axis armed. `None` serializes to nothing, so unfused
+    /// matrices are byte-identical to those written before fusion existed.
+    pub fused: Option<FusedCell>,
+}
+
+/// Macro-op fusion measurements for one cell (the `crates/fusion` pass's
+/// report, flattened to plain data so `analysis` stays decoupled from the
+/// fusion crate).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusedCell {
+    /// Adjacent pairs fused; each removes one instruction from the path.
+    pub fused_pairs: u64,
+    /// Effective (fused) dynamic path length.
+    pub effective_path_length: u64,
+    /// Unit-cost critical path of the fused stream.
+    pub fused_critical_path: u64,
+    /// TX2-scaled critical path of the fused stream.
+    pub fused_scaled_cp: u64,
+    /// Non-zero per-pair-kind counts, `(pair name, count)` in table order.
+    pub pair_counts: Vec<(String, u64)>,
+    /// Effective per-kernel instruction counts, in kernel order.
+    pub effective_kernels: Vec<(String, u64)>,
+}
+
+impl FusedCell {
+    /// ILP of the fused stream from its unit-cost critical path.
+    pub fn ilp(&self) -> f64 {
+        self.effective_path_length as f64 / self.fused_critical_path.max(1) as f64
+    }
 }
 
 impl ExperimentCell {
@@ -162,6 +192,70 @@ impl ResultMatrix {
         )
     }
 
+    /// True when at least one cell carries fusion measurements (i.e. the
+    /// matrix was produced with the fusion axis armed).
+    pub fn has_fused(&self) -> bool {
+        self.cells.iter().any(|c| c.fused.is_some())
+    }
+
+    /// Render the fused-vs-unfused comparison (Table-1 layout): per
+    /// workload, the unfused path length and critical path next to the
+    /// macro-op-fused effective values, the reduction, and the fused pair
+    /// count. Cells without fusion data render `-`.
+    pub fn fusion_table(&self) -> String {
+        let fused = |c: &ExperimentCell, f: &dyn Fn(&FusedCell) -> String| match &c.fused {
+            Some(fc) => f(fc),
+            None => "-".to_string(),
+        };
+        self.render_table(
+            "Table F: Macro-op Fusion — effective path length and fused CP",
+            &[
+                ("Path Length", &|c: &ExperimentCell| fmt_u64(c.path_length)),
+                ("Effective PL", &|c| fused(c, &|f| fmt_u64(f.effective_path_length))),
+                ("Fused pairs", &|c| fused(c, &|f| fmt_u64(f.fused_pairs))),
+                ("PL reduction", &|c| {
+                    fused(c, &|f| {
+                        let base = c.path_length.max(1) as f64;
+                        format!("{:.1}%", 100.0 * (1.0 - f.effective_path_length as f64 / base))
+                    })
+                }),
+                ("CP", &|c| fmt_u64(c.critical_path)),
+                ("Fused CP", &|c| fused(c, &|f| fmt_u64(f.fused_critical_path))),
+                ("Fused scaled CP", &|c| fused(c, &|f| fmt_u64(f.fused_scaled_cp))),
+                ("Fused ILP", &|c| fused(c, &|f| format!("{:.0}", f.ilp()))),
+            ],
+        )
+    }
+
+    /// Fusion figure data, one row per fused pair kind per cell, as CSV
+    /// (`workload,compiler,isa,pair,count,per_kilo_inst`). Cells without
+    /// fusion data contribute nothing; failed cells contribute one
+    /// `ERR(<kind>)` placeholder row so partial matrices stay visible.
+    pub fn fusion_csv(&self) -> String {
+        let mut out = String::from("workload,compiler,isa,pair,count,per_kilo_inst\n");
+        for c in &self.cells {
+            let Some(fc) = &c.fused else { continue };
+            for (pair, count) in &fc.pair_counts {
+                out.push_str(&format!(
+                    "{},{},{},{},{},{:.3}\n",
+                    c.workload,
+                    c.compiler,
+                    c.isa,
+                    pair,
+                    count,
+                    1000.0 * *count as f64 / c.path_length.max(1) as f64
+                ));
+            }
+        }
+        for f in &self.failures {
+            out.push_str(&format!(
+                "{},{},{},ERR({}),0,0.000\n",
+                f.workload, f.compiler, f.isa, f.kind
+            ));
+        }
+        out
+    }
+
     #[allow(clippy::type_complexity)]
     fn render_table(
         &self,
@@ -211,7 +305,15 @@ impl ResultMatrix {
     /// `ERR(<kind>)` in the kernel column and zeroed measurements, so a
     /// figure built from a partial matrix shows *where* data is missing.
     pub fn fig1_csv(&self) -> String {
-        let mut out = String::from("workload,compiler,isa,kernel,instructions,normalised\n");
+        // With the fusion axis armed, two extra columns carry the
+        // macro-op-fused per-kernel counts; without it the CSV is
+        // byte-identical to the pre-fusion shape.
+        let fused = self.has_fused();
+        let mut out = String::from("workload,compiler,isa,kernel,instructions,normalised");
+        if fused {
+            out.push_str(",effective,effective_normalised");
+        }
+        out.push('\n');
         for w in self.workloads() {
             let base = self
                 .get(&w, "gcc-9.2", "AArch64")
@@ -221,7 +323,7 @@ impl ResultMatrix {
             for c in self.cells.iter().filter(|c| c.workload == w) {
                 for (kernel, count) in &c.kernels {
                     out.push_str(&format!(
-                        "{},{},{},{},{},{:.6}\n",
+                        "{},{},{},{},{},{:.6}",
                         c.workload,
                         c.compiler,
                         c.isa,
@@ -229,12 +331,30 @@ impl ResultMatrix {
                         count,
                         *count as f64 / base
                     ));
+                    if fused {
+                        let eff = c
+                            .fused
+                            .as_ref()
+                            .and_then(|f| {
+                                f.effective_kernels
+                                    .iter()
+                                    .find(|(k, _)| k == kernel)
+                                    .map(|(_, n)| *n)
+                            })
+                            .unwrap_or(*count);
+                        out.push_str(&format!(",{},{:.6}", eff, eff as f64 / base));
+                    }
+                    out.push('\n');
                 }
             }
             for f in self.failures.iter().filter(|f| f.workload == w) {
                 out.push_str(&format!(
-                    "{},{},{},ERR({}),0,0.000000\n",
-                    f.workload, f.compiler, f.isa, f.kind
+                    "{},{},{},ERR({}),0,0.000000{}\n",
+                    f.workload,
+                    f.compiler,
+                    f.isa,
+                    f.kind,
+                    if fused { ",0,0.000000" } else { "" }
                 ));
             }
         }
@@ -407,7 +527,7 @@ impl ExperimentCell {
     /// Serialize one measured cell (the shape embedded in
     /// [`ResultMatrix::to_json`] and in journal records).
     pub fn to_json_value(&self) -> Json {
-        Json::obj(vec![
+        let mut fields = vec![
             ("workload", Json::Str(self.workload.clone())),
             ("compiler", Json::Str(self.compiler.clone())),
             ("isa", Json::Str(self.isa.clone())),
@@ -440,7 +560,11 @@ impl ExperimentCell {
                         .collect(),
                 ),
             ),
-        ])
+        ];
+        if let Some(f) = &self.fused {
+            fields.push(("fused", f.to_json_value()));
+        }
+        Json::obj(fields)
     }
 
     /// Parse one measured cell back from its JSON shape.
@@ -478,6 +602,12 @@ impl ExperimentCell {
             })
             .collect::<Option<Vec<_>>>()
             .ok_or("cell: malformed \"windows\" entry")?;
+        // Optional: only fusion-armed cells carry it, and matrices written
+        // before the fusion axis existed parse unchanged.
+        let fused = match j.get("fused") {
+            Some(f) => Some(FusedCell::from_json_value(f)?),
+            None => None,
+        };
         Ok(ExperimentCell {
             workload: text("workload")?,
             compiler: text("compiler")?,
@@ -487,6 +617,58 @@ impl ExperimentCell {
             scaled_cp: int("scaled_cp")?,
             kernels,
             windows,
+            fused,
+        })
+    }
+}
+
+impl FusedCell {
+    /// Serialize the fusion measurements (the `"fused"` object inside a
+    /// cell's JSON).
+    pub fn to_json_value(&self) -> Json {
+        let pairs = |v: &[(String, u64)]| {
+            Json::Arr(
+                v.iter()
+                    .map(|(name, n)| Json::Arr(vec![Json::Str(name.clone()), Json::Num(*n as f64)]))
+                    .collect(),
+            )
+        };
+        Json::obj(vec![
+            ("fused_pairs", Json::Num(self.fused_pairs as f64)),
+            ("effective_path_length", Json::Num(self.effective_path_length as f64)),
+            ("fused_critical_path", Json::Num(self.fused_critical_path as f64)),
+            ("fused_scaled_cp", Json::Num(self.fused_scaled_cp as f64)),
+            ("pair_counts", pairs(&self.pair_counts)),
+            ("effective_kernels", pairs(&self.effective_kernels)),
+        ])
+    }
+
+    /// Parse the fusion measurements back from their JSON shape.
+    pub fn from_json_value(j: &Json) -> Result<Self, String> {
+        let int = |key: &str| -> Result<u64, String> {
+            j.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("fused: missing integer field {key:?}"))
+        };
+        let pairs = |key: &str| -> Result<Vec<(String, u64)>, String> {
+            j.get(key)
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format!("fused: missing {key:?}"))?
+                .iter()
+                .map(|pair| {
+                    let a = pair.as_arr().filter(|a| a.len() == 2)?;
+                    Some((a[0].as_str()?.to_string(), a[1].as_u64()?))
+                })
+                .collect::<Option<Vec<_>>>()
+                .ok_or_else(|| format!("fused: malformed {key:?} entry"))
+        };
+        Ok(FusedCell {
+            fused_pairs: int("fused_pairs")?,
+            effective_path_length: int("effective_path_length")?,
+            fused_critical_path: int("fused_critical_path")?,
+            fused_scaled_cp: int("fused_scaled_cp")?,
+            pair_counts: pairs("pair_counts")?,
+            effective_kernels: pairs("effective_kernels")?,
         })
     }
 }
@@ -526,7 +708,27 @@ mod tests {
             scaled_cp: cp * 6,
             kernels: vec![("k1".into(), pl / 2), ("k2".into(), pl / 2)],
             windows: vec![(4, 2.0, 2.0), (16, 4.0, 4.0)],
+            fused: None,
         }
+    }
+
+    fn fused_cell(pl: u64) -> FusedCell {
+        FusedCell {
+            fused_pairs: pl / 10,
+            effective_path_length: pl - pl / 10,
+            fused_critical_path: 90,
+            fused_scaled_cp: 540,
+            pair_counts: vec![("slli+add".into(), pl / 20), ("cmp+branch".into(), pl / 20)],
+            effective_kernels: vec![("k1".into(), pl / 2 - pl / 20), ("k2".into(), pl / 2 - pl / 20)],
+        }
+    }
+
+    fn fused_sample() -> ResultMatrix {
+        let mut m = sample();
+        for c in &mut m.cells {
+            c.fused = Some(fused_cell(c.path_length));
+        }
+        m
     }
 
     fn sample() -> ResultMatrix {
@@ -701,5 +903,66 @@ mod tests {
         assert_eq!(c.ilp(), 10.0);
         assert!((c.runtime_ms() - 100.0 / 2e6).abs() < 1e-12);
         assert_eq!(c.scaled_ilp(), 1000.0 / 600.0);
+    }
+
+    #[test]
+    fn unfused_json_carries_no_fused_field() {
+        // The byte-identity contract: a matrix without fusion data must
+        // serialize exactly as it did before the fusion axis existed.
+        let j = sample().to_json();
+        assert!(!j.contains("fused"), "{j}");
+    }
+
+    #[test]
+    fn fused_cells_round_trip_through_json() {
+        let m = fused_sample();
+        let back = ResultMatrix::from_json(&m.to_json()).unwrap();
+        let f = back.cells[0].fused.as_ref().expect("fused data survives");
+        assert_eq!(*f, fused_cell(1000));
+        assert_eq!(back.cells, m.cells);
+    }
+
+    #[test]
+    fn fusion_table_shows_effective_columns() {
+        let t = fused_sample().fusion_table();
+        assert!(t.contains("Effective PL"), "{t}");
+        assert!(t.contains("900"), "effective PL for the 1000-cell: {t}");
+        assert!(t.contains("10.0%"), "reduction renders: {t}");
+        // A matrix without fusion data renders placeholders, not garbage.
+        let bare = sample().fusion_table();
+        assert!(bare.contains('-'), "{bare}");
+    }
+
+    #[test]
+    fn fusion_csv_rows_per_pair_kind() {
+        let csv = fused_sample().fusion_csv();
+        assert!(csv.starts_with("workload,compiler,isa,pair,count,per_kilo_inst\n"));
+        assert!(csv.contains("STREAM,gcc-12.2,RISC-V,slli+add,55,50.000"), "{csv}");
+        for line in csv.lines().skip(1) {
+            assert_eq!(line.split(',').count(), 6, "malformed row: {line}");
+        }
+        // No fusion data -> header only.
+        assert_eq!(sample().fusion_csv().lines().count(), 1);
+    }
+
+    #[test]
+    fn fig1_gains_effective_columns_only_when_fused() {
+        let bare = sample().fig1_csv();
+        assert!(bare.starts_with("workload,compiler,isa,kernel,instructions,normalised\n"));
+        for line in bare.lines() {
+            assert_eq!(line.split(',').count(), 6, "unfused shape unchanged: {line}");
+        }
+        let csv = fused_sample().fig1_csv();
+        assert!(
+            csv.starts_with(
+                "workload,compiler,isa,kernel,instructions,normalised,effective,effective_normalised\n"
+            ),
+            "{csv}"
+        );
+        for line in csv.lines() {
+            assert_eq!(line.split(',').count(), 8, "fused rows carry 8 columns: {line}");
+        }
+        // k1 of the gcc-12.2/AArch64 cell: 450 raw, 450 - 45 effective.
+        assert!(csv.contains("STREAM,gcc-12.2,AArch64,k1,450,0.450000,405,0.405000"), "{csv}");
     }
 }

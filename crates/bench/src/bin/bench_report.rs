@@ -6,7 +6,19 @@
 //! bench_report [--size test|small|paper] [--runs N] [--threshold PCT]
 //!              [--history PATH] [--baseline PATH] [--strict]
 //!              [--mips-scale F] [--host-ghz F] [--server-stats PATH]
+//!              [--fusion | --fusion-baseline]
 //! ```
+//!
+//! `--fusion` attaches the macro-op fusion pass as an observer to every
+//! timed cell; `--fusion-baseline` attaches the analyses the pass drives
+//! internally (`PathLength` + `DualCriticalPath`) *without* the fusion
+//! machinery. Against a `--fusion-baseline` entry in the same history
+//! file, a `--fusion` entry's geomean delta is exactly the increment the
+//! fusion machinery itself adds (pending buffer, pair recognition,
+//! merging) — the CI gate runs the two back to back and fails on a drop
+//! beyond `--threshold`. (A bare run is the wrong baseline for that
+//! question: it would charge the fusion pass for the critical-path
+//! analysis it shares with every real cell run.)
 //!
 //! `--server-stats` merges a `load_driver --stats-out` report (jobs
 //! served, cache hits, p50/p99 latency) into the history entry as a
@@ -38,9 +50,21 @@ use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use isacmp::telemetry::Json;
 use isacmp::{
-    compile, interpret, isa_label, try_execute_engine, Compiled, Engine, IsaKind, Personality,
-    SizeClass, Workload,
+    compile, interpret, isa_label, try_execute_engine, Compiled, DualCriticalPath, Engine,
+    FusionPass, IsaKind, Observer, PathLength, Personality, SizeClass, Tx2Latency, Workload,
 };
+
+/// What rides the retire loop of every timed run.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ObserverLoad {
+    /// No observers: raw engine throughput (the default suite).
+    Bare,
+    /// `PathLength` + `DualCriticalPath` — the analyses the fusion pass
+    /// drives internally, without the fusion machinery.
+    FusionBaseline,
+    /// The full macro-op fusion pass.
+    Fusion,
+}
 
 /// History schema version written and accepted by this binary.
 const SCHEMA: u64 = 1;
@@ -65,13 +89,14 @@ struct Args {
     mips_scale: f64,
     host_ghz: f64,
     server_stats: Option<PathBuf>,
+    load: ObserverLoad,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: bench_report [--size test|small|paper] [--runs N] [--threshold PCT]\n\
          \x20                   [--history PATH] [--baseline PATH] [--strict] [--mips-scale F]\n\
-         \x20                   [--host-ghz F] [--server-stats PATH]"
+         \x20                   [--host-ghz F] [--server-stats PATH] [--fusion | --fusion-baseline]"
     );
     std::process::exit(1);
 }
@@ -87,6 +112,7 @@ fn parse_args() -> Args {
         mips_scale: 1.0,
         host_ghz: DEFAULT_HOST_GHZ,
         server_stats: None,
+        load: ObserverLoad::Bare,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -121,6 +147,8 @@ fn parse_args() -> Args {
             "--baseline" => args.baseline = PathBuf::from(value("--baseline")),
             "--server-stats" => args.server_stats = Some(PathBuf::from(value("--server-stats"))),
             "--strict" => args.strict = true,
+            "--fusion" => args.load = ObserverLoad::Fusion,
+            "--fusion-baseline" => args.load = ObserverLoad::FusionBaseline,
             "--mips-scale" => {
                 args.mips_scale = value("--mips-scale")
                     .parse::<f64>()
@@ -204,10 +232,27 @@ fn measure_cell(
     runs: u32,
     mips_scale: f64,
     host_ghz: f64,
+    load: ObserverLoad,
 ) -> Result<CellResult, String> {
     let mut best: Option<CellResult> = None;
     for _ in 0..runs {
-        let (_, stats) = try_execute_engine(compiled, &mut [], None, None, engine)
+        // Observers are built fresh per timed run so no run pays for a
+        // previous run's accumulated state.
+        let run = match load {
+            ObserverLoad::Bare => try_execute_engine(compiled, &mut [], None, None, engine),
+            ObserverLoad::FusionBaseline => {
+                let mut pl = PathLength::new(&compiled.program.regions);
+                let mut cp = DualCriticalPath::new(Tx2Latency);
+                let mut obs: [&mut dyn Observer; 2] = [&mut pl, &mut cp];
+                try_execute_engine(compiled, &mut obs, None, None, engine)
+            }
+            ObserverLoad::Fusion => {
+                let mut pass = FusionPass::new(isa, &compiled.program.regions);
+                let mut obs: [&mut dyn Observer; 1] = [&mut pass];
+                try_execute_engine(compiled, &mut obs, None, None, engine)
+            }
+        };
+        let (_, stats) = run
             .map_err(|e| format!("{}/{}/{engine}: {e}", workload.name(), isa_label(isa)))?;
         let mips = stats.host_mips() * mips_scale;
         if best.as_ref().is_none_or(|b| mips > b.mips) {
@@ -336,11 +381,16 @@ fn main() -> ExitCode {
     const ENGINES: [Engine; 2] = [Engine::Legacy, Engine::Block];
 
     println!(
-        "bench_report: {} cells x best-of-{} @ size {} (host clock {:.1} GHz)",
+        "bench_report: {} cells x best-of-{} @ size {} (host clock {:.1} GHz){}",
         suite.len() * ENGINES.len(),
         args.runs,
         args.size.name(),
-        args.host_ghz
+        args.host_ghz,
+        match args.load {
+            ObserverLoad::Bare => "",
+            ObserverLoad::FusionBaseline => " [fusion-baseline analyses attached]",
+            ObserverLoad::Fusion => " [fusion pass attached]",
+        }
     );
     println!(
         "  {:<34} {:>12}  {:>9}  {:>8}  {:>8}  {:>8}  {:>9}",
@@ -366,6 +416,7 @@ fn main() -> ExitCode {
                 args.runs,
                 args.mips_scale,
                 args.host_ghz,
+                args.load,
             ) {
                 Ok(cell) => {
                     let vs_native = cell
@@ -416,6 +467,11 @@ fn main() -> ExitCode {
         ("total_retired", Json::Num(total_retired as f64)),
         ("cells", Json::Arr(cells.iter().map(CellResult::to_json).collect())),
     ];
+    match args.load {
+        ObserverLoad::Bare => {}
+        ObserverLoad::FusionBaseline => fields.push(("fusion_baseline", Json::Bool(true))),
+        ObserverLoad::Fusion => fields.push(("fusion", Json::Bool(true))),
+    }
     if let Some(stats) = &server_stats {
         // Republish the headline serving numbers as gauges and embed the
         // full load_driver report in this entry.

@@ -26,6 +26,14 @@
 //! - `--engine <legacy|block>`: retire loop for every cell (default
 //!   `block`, the pre-decoded basic-block engine; both produce identical
 //!   tables — see `tests/engine_differential.rs`).
+//! - `--fusion`: arm the macro-op fusion pass as a third scenario axis
+//!   (workload x compiler x ISA x fusion): every cell additionally
+//!   reports per-pair-kind fusion counts and the effective (fused)
+//!   dynamic path length. `table1`/`all` print the fused-vs-unfused
+//!   comparison table, matrix runs write `results/fusion.csv`, and
+//!   `results/fig1.csv` gains effective-count columns. Fused cells
+//!   journal and resume separately from unfused ones; a shared
+//!   `--trace-dir` serves both (traces are fusion-independent).
 //! - `--inject <workload/compiler/isa:fault>`: deterministically inject a
 //!   fault into matching cells, e.g. `STREAM/gcc-12.2/RISC-V:trap@1000`
 //!   (fault grammar: `trap@N`, `fetch@N[:MASK]`, `read@N[:BIT]`).
@@ -72,8 +80,21 @@ use isacmp::{
     SizeClass, Workload,
 };
 
-/// Where matrix runs journal completed cells for crash recovery.
+/// Where matrix runs journal completed cells for crash recovery. Fused
+/// runs journal to a separate file: a fused and an unfused cell are
+/// different measurements under different provenance keys, and a resume
+/// must never splice one axis's outcomes into the other's matrix.
 const JOURNAL_PATH: &str = "results/matrix.journal.jsonl";
+const FUSED_JOURNAL_PATH: &str = "results/matrix-fused.journal.jsonl";
+
+/// The crash journal for this run's scenario axis.
+fn journal_path(fusion: bool) -> &'static str {
+    if fusion {
+        FUSED_JOURNAL_PATH
+    } else {
+        JOURNAL_PATH
+    }
+}
 
 /// CLI parse failures are usage errors: report and exit 2.
 fn or_usage<T>(r: Result<T, String>) -> T {
@@ -124,6 +145,7 @@ fn parse_matrix_opts(args: &[String]) -> (MatrixOptions, Option<CampaignManifest
         heed_shutdown: true,
         checkpoint_dir,
         engine: flags.engine,
+        fusion: flags.fusion,
     };
     (opts, campaign_manifest)
 }
@@ -159,12 +181,13 @@ enum ResumeSource {
 /// `Arc`-shared because cells run as owned tasks on the process-wide
 /// shard pool.
 fn open_journal(
+    jpath: &str,
     open: impl FnOnce() -> std::io::Result<CellJournal>,
 ) -> Option<Arc<Mutex<CellJournal>>> {
     match open() {
         Ok(j) => Some(Arc::new(Mutex::new(j))),
         Err(e) => {
-            eprintln!("warning: cannot open {JOURNAL_PATH}: {e} (running without crash journal)");
+            eprintln!("warning: cannot open {jpath}: {e} (running without crash journal)");
             None
         }
     }
@@ -178,6 +201,7 @@ fn matrix(
 ) -> ResultMatrix {
     fs::create_dir_all("results").ok();
     let total = 4 * Workload::ALL.len();
+    let jpath = journal_path(opts.fusion);
     let m = match resume_from {
         Some(ResumeSource::Journal(j)) => {
             let done = j.matrix.cells.len() + j.matrix.failures.len();
@@ -188,7 +212,7 @@ fn matrix(
                 if j.torn_tail { ", torn tail discarded" } else { "" },
                 total.saturating_sub(done),
             );
-            let journal = open_journal(|| CellJournal::append_to(Path::new(JOURNAL_PATH)));
+            let journal = open_journal(jpath, || CellJournal::append_to(Path::new(jpath)));
             continue_matrix(&Workload::ALL, size, opts, &j.matrix, journal.as_ref())
         }
         Some(ResumeSource::Matrix(prior)) => {
@@ -199,8 +223,8 @@ fn matrix(
             );
             // Seed a fresh journal with the kept cells so a crash mid-heal
             // is itself journal-resumable.
-            let journal = open_journal(|| {
-                let mut j = CellJournal::create(Path::new(JOURNAL_PATH), size.name(), None)?;
+            let journal = open_journal(jpath, || {
+                let mut j = CellJournal::create(Path::new(jpath), size.name(), None)?;
                 for c in &prior.cells {
                     j.record_cell(c)?;
                 }
@@ -210,8 +234,9 @@ fn matrix(
         }
         None => {
             eprintln!("running the experiment matrix (5 workloads x 2 compilers x 2 ISAs) ...");
-            let journal =
-                open_journal(|| CellJournal::create(Path::new(JOURNAL_PATH), size.name(), manifest));
+            let journal = open_journal(jpath, || {
+                CellJournal::create(Path::new(jpath), size.name(), manifest)
+            });
             run_matrix_journaled(&Workload::ALL, size, opts, journal.as_ref())
         }
     };
@@ -224,16 +249,20 @@ fn matrix(
         );
     }
     write_out("results/matrix.json", m.to_json());
+    if m.has_fused() {
+        write_out("results/fusion.csv", m.fusion_csv());
+        eprintln!("fusion pair counts written to results/fusion.csv");
+    }
     if shutdown::requested() {
         eprintln!(
             "interrupted: partial matrix ({} of {total} cells) flushed to results/matrix.json; \
-             journal kept at {JOURNAL_PATH} — finish with `--resume results/matrix.json`",
+             journal kept at {jpath} — finish with `--resume results/matrix.json`",
             m.cells.len() + m.failures.len(),
         );
     } else {
         // The durable matrix.json now carries everything; the journal has
         // served its purpose.
-        let _ = fs::remove_file(JOURNAL_PATH);
+        let _ = fs::remove_file(jpath);
     }
     m
 }
@@ -493,13 +522,16 @@ fn main() {
     let strict = cli::has_flag(&args, "--strict");
     let resume_src = cli::flag_value(&args, "--resume").map(|p| {
         // A surviving journal means the prior run was killed mid-matrix;
-        // it supersedes the (older or partial) matrix JSON.
-        if Path::new(JOURNAL_PATH).exists() {
-            match read_journal(Path::new(JOURNAL_PATH)) {
+        // it supersedes the (older or partial) matrix JSON. The journal
+        // consulted is the one for this run's scenario axis: a fused
+        // resume never splices unfused outcomes in, and vice versa.
+        let jpath = journal_path(matrix_opts.fusion);
+        if Path::new(jpath).exists() {
+            match read_journal(Path::new(jpath)) {
                 Ok(j) => {
                     if j.size != size.name() {
                         eprintln!(
-                            "journal at {JOURNAL_PATH} was recorded at --size {}, this run asks --size {}; \
+                            "journal at {jpath} was recorded at --size {}, this run asks --size {}; \
                              re-run with the matching size or delete the journal",
                             j.size,
                             size.name()
@@ -509,7 +541,7 @@ fn main() {
                     return ResumeSource::Journal(j);
                 }
                 Err(e) => {
-                    eprintln!("cannot recover journal {JOURNAL_PATH}: {e}");
+                    eprintln!("cannot recover journal {jpath}: {e}");
                     eprintln!("delete it to resume from the matrix JSON instead");
                     std::process::exit(2);
                 }
@@ -561,6 +593,9 @@ fn main() {
             let m = matrix(size);
             write_out("results/basicCPResult.txt", m.cp_result_txt(false));
             println!("{}", m.table1());
+            if m.has_fused() {
+                println!("{}", m.fusion_table());
+            }
         }
         "table2" => {
             let m = matrix(size);
@@ -616,6 +651,9 @@ fn main() {
             write_out("results/scaledCPResult.txt", m.cp_result_txt(true));
             println!("{}", m.table1());
             println!("{}", m.table2());
+            if m.has_fused() {
+                println!("{}", m.fusion_table());
+            }
             write_out("results/fig1.csv", m.fig1_csv());
             write_out("results/fig2.csv", m.fig2_csv());
             write_out("results/fig2.gnuplot", m.fig2_gnuplot());

@@ -7,6 +7,7 @@
 //! cargo run --release -p bench --bin trace_tool -- verify results/stream.trace
 //! cargo run --release -p bench --bin trace_tool -- dump   results/stream.trace --limit 20
 //! cargo run --release -p bench --bin trace_tool -- diff   a.trace b.trace
+//! cargo run --release -p bench --bin trace_tool -- fuse   results/stream.trace
 //! ```
 //!
 //! - `info`: header provenance and trailer totals (header only on a file
@@ -17,12 +18,15 @@
 //!   `--limit 0` for everything).
 //! - `diff`: first record-level divergence plus per-group count deltas
 //!   between two traces. Exit 1 if the traces differ.
+//! - `fuse`: run the macro-op fusion pass over the captured stream and
+//!   print the per-pair-kind fusion summary (the ISA's recognizer set is
+//!   picked from the trace header).
 
-use isacmp::{InstGroup, RegSet, RetiredInst, TraceReader};
+use isacmp::{FusionPass, InstGroup, IsaKind, RegSet, RetiredInst, TraceReader};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: trace_tool <info|verify|dump|diff> <file.trace> [file2.trace] [--limit N]"
+        "usage: trace_tool <info|verify|dump|diff|fuse> <file.trace> [file2.trace] [--limit N]"
     );
     std::process::exit(2);
 }
@@ -142,6 +146,26 @@ fn next_or_die(
     }
 }
 
+fn fuse(path: &str) {
+    let mut reader = open(path);
+    print_header(path, &reader);
+    let isa = match reader.meta().isa.as_str() {
+        "RISC-V" => IsaKind::RiscV,
+        "AArch64" => IsaKind::AArch64,
+        other => {
+            eprintln!("{path}: unknown ISA {other:?} in trace header");
+            std::process::exit(1);
+        }
+    };
+    let regions = reader.meta().regions.clone();
+    let mut pass = FusionPass::new(isa, &regions);
+    if let Err(e) = pass.consume(&mut reader) {
+        eprintln!("{path}: CORRUPT — {e}");
+        std::process::exit(1);
+    }
+    println!("{}", pass.report().summary());
+}
+
 fn diff(path_a: &str, path_b: &str) {
     let mut a = open(path_a);
     let mut b = open(path_b);
@@ -249,6 +273,7 @@ fn main() {
         ("verify", [f]) => verify(f),
         ("dump", [f]) => dump(f, limit),
         ("diff", [a, b]) => diff(a, b),
+        ("fuse", [f]) => fuse(f),
         _ => usage(),
     }
 }

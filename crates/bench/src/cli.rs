@@ -129,6 +129,9 @@ pub struct MatrixFlags {
     pub trace_dir: Option<PathBuf>,
     /// Retire loop engine (`--engine`, default block).
     pub engine: Engine,
+    /// Arm the macro-op fusion pass (`--fusion`): every cell additionally
+    /// reports fused pair counts and effective path length.
+    pub fusion: bool,
 }
 
 impl MatrixFlags {
@@ -142,6 +145,7 @@ impl MatrixFlags {
             campaign: parse_campaign_spec(args)?,
             trace_dir: parse_trace_dir(args),
             engine: parse_engine(args)?,
+            fusion: has_flag(args, "--fusion"),
         })
     }
 }
@@ -179,6 +183,7 @@ mod tests {
             "results/traces",
             "--engine",
             "legacy",
+            "--fusion",
         ]))
         .unwrap();
         assert_eq!(f.size, SizeClass::Test);
@@ -189,6 +194,7 @@ mod tests {
         assert_eq!((c.seed, c.n_faults), (7, 3));
         assert_eq!(f.trace_dir.as_deref(), Some(std::path::Path::new("results/traces")));
         assert_eq!(f.engine, Engine::Legacy);
+        assert!(f.fusion);
     }
 
     #[test]
@@ -198,6 +204,7 @@ mod tests {
         assert_eq!(f.retries, 1);
         assert_eq!(f.engine, Engine::Block);
         assert!(f.deadline.is_none() && f.inject.is_none() && f.campaign.is_none());
+        assert!(!f.fusion);
     }
 
     #[test]

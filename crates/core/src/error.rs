@@ -182,6 +182,12 @@ pub struct CellOptions {
     /// Retire loop to drive ([`Engine::Block`] by default; see
     /// [`simcore::Engine`] for when a block run degrades to legacy).
     pub engine: Engine,
+    /// Run the macro-op fusion pass alongside the cell analyses and carry
+    /// its report in the cell (`ExperimentCell::fused`). A fused cell is
+    /// a distinct scenario-axis point: it caches and journals under a
+    /// different provenance key than the unfused cell, but shares the
+    /// same captured trace (the retired stream itself is fusion-free).
+    pub fusion: bool,
 }
 
 impl CellOptions {
@@ -289,6 +295,9 @@ pub struct MatrixOptions {
     pub checkpoint_dir: Option<std::path::PathBuf>,
     /// Retire loop driven in every cell (see [`CellOptions::engine`]).
     pub engine: Engine,
+    /// Run the macro-op fusion pass in every cell (see
+    /// [`CellOptions::fusion`]) — the matrix's third scenario axis.
+    pub fusion: bool,
 }
 
 impl MatrixOptions {
@@ -307,6 +316,7 @@ impl MatrixOptions {
             heed_shutdown: self.heed_shutdown,
             checkpoint_dir: self.checkpoint_dir.clone(),
             engine: self.engine,
+            fusion: self.fusion,
         }
     }
 }

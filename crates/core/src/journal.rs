@@ -235,6 +235,7 @@ mod tests {
             scaled_cp: 60_000,
             kernels: vec![("copy".into(), 61_728), ("scale".into(), 61_728)],
             windows: vec![(4, 2.5, 1.5), (16, 8.0, 2.0)],
+            fused: None,
         }
     }
 

@@ -51,9 +51,10 @@ pub use tracecache::{cell_meta, replay_cell, trace_path};
 
 pub use analysis::{
     runtime_ms, CellAnalyses, CellFailure, CpComposition, CpResult, CriticalPath, DepDistance,
-    DualCriticalPath, ExperimentCell, InstMix, PathLength,
+    DualCriticalPath, ExperimentCell, FusedCell, InstMix, PathLength,
     ResultMatrix, WindowStats, WindowedCp, CLOCK_GHZ, PAPER_WINDOW_SIZES,
 };
+pub use fusion::{FusionPass, FusionReport, PairKind};
 pub use isa_aarch64::AArch64Executor;
 pub use isa_riscv::RiscVExecutor;
 pub use kernelgen::{compile, interpret, Compiled, KernelProgram, Personality};
@@ -236,7 +237,7 @@ fn run_cell_attempt(
         let path = tracecache::trace_path(dir, workload, personality, isa, size);
         if path.exists() {
             let trace = telemetry::Json::Str(path.display().to_string());
-            match tracecache::replay_cell(&path, workload, personality, isa, size) {
+            match tracecache::replay_cell(&path, workload, personality, isa, size, opts.fusion) {
                 Ok(Some(cell)) => return Ok(cell),
                 // Stale provenance: fall through and recapture.
                 Ok(None) => {
@@ -266,6 +267,11 @@ fn run_cell_attempt(
         compiled_or.map_err(|p| CellError::Compile { msg: error::panic_message(p) })?;
 
     let mut analyses = CellAnalyses::new(&compiled.program.regions);
+    // The fusion pass is an ordinary observer riding next to the bundle:
+    // it sees the exact stream the trace format carries, so a live fused
+    // cell and a replayed one are byte-identical.
+    let mut fusion_pass =
+        opts.fusion.then(|| fusion::FusionPass::new(isa, &compiled.program.regions));
     // Capture goes to a `.tmp` sibling first; only a verified run renames
     // it into place, so the cache never holds a half-written file.
     let mut capture = match tracing {
@@ -288,6 +294,9 @@ fn run_cell_attempt(
     };
     let run_result = {
         let mut obs = analyses.observers();
+        if let Some(p) = fusion_pass.as_mut() {
+            obs.push(p);
+        }
         if let Some((w, _, _)) = capture.as_mut() {
             obs.push(w);
         }
@@ -399,7 +408,11 @@ fn run_cell_attempt(
         }
     }
 
-    Ok(analyses.into_cell(workload.name(), personality.label(), isa_label(isa)))
+    let mut cell = analyses.into_cell(workload.name(), personality.label(), isa_label(isa));
+    if let Some(p) = fusion_pass {
+        cell.fused = Some(p.report().to_fused_cell());
+    }
+    Ok(cell)
 }
 
 /// Durably write a resumable snapshot of a watchdog-tripped cell:

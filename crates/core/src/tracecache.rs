@@ -14,7 +14,7 @@ use std::time::Instant;
 
 use analysis::{CellAnalyses, ExperimentCell};
 use kernelgen::Personality;
-use simcore::IsaKind;
+use simcore::{IsaKind, RetireSource};
 use trace::{TraceMeta, TraceReader};
 use workloads::{SizeClass, Workload};
 
@@ -65,12 +65,18 @@ pub fn cell_meta(
 /// Telemetry: counter `trace_replays`, histogram `trace_replay_ms`, and
 /// gauge `trace_replay_speedup` (capture emulation wall time over replay
 /// wall time, from the trailer).
+///
+/// Trace files are fusion-independent — they carry the raw retired stream
+/// — so one capture serves both the plain and the `fusion` scenario; the
+/// flag only decides whether a [`fusion::FusionPass`] rides alongside the
+/// analysis bundle during this replay.
 pub fn replay_cell(
     path: &Path,
     workload: Workload,
     personality: &Personality,
     isa: IsaKind,
     size: SizeClass,
+    fuse: bool,
 ) -> Result<Option<ExperimentCell>, CellError> {
     let tel = telemetry::global();
     let _span = tel.enter("trace_replay");
@@ -90,7 +96,14 @@ pub fn replay_cell(
     }
     let regions = reader.meta().regions.clone();
     let mut analyses = CellAnalyses::new(&regions);
-    analyses.run(&mut reader).map_err(|err| CellError::Sim { err, instret: 0 })?;
+    let mut pass = fuse.then(|| fusion::FusionPass::new(isa, &regions));
+    {
+        let mut obs = analyses.observers();
+        if let Some(p) = pass.as_mut() {
+            obs.push(p);
+        }
+        reader.drive(&mut obs).map_err(|err| CellError::Sim { err, instret: 0 })?;
+    }
     let trailer = *reader.trailer().expect("drive() validated the trailer");
     let elapsed = start.elapsed();
     tel.counter_add("trace_replays", 1);
@@ -100,7 +113,11 @@ pub fn replay_cell(
         let speedup = trailer.capture_wall_us as f64 / elapsed.as_micros().max(1) as f64;
         tel.gauge_set("trace_replay_speedup", speedup);
     }
-    Ok(Some(analyses.into_cell(workload.name(), personality.label(), isa_label(isa))))
+    let mut cell = analyses.into_cell(workload.name(), personality.label(), isa_label(isa));
+    if let Some(p) = pass {
+        cell.fused = Some(p.report().to_fused_cell());
+    }
+    Ok(Some(cell))
 }
 
 #[cfg(test)]
@@ -127,6 +144,7 @@ mod tests {
             &Personality::gcc122(),
             IsaKind::RiscV,
             SizeClass::Test,
+            false,
         )
         .expect_err("missing file is an error, not a silent miss");
         assert_eq!(err.kind(), "sim");

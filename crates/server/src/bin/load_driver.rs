@@ -2,7 +2,7 @@
 //!
 //! Usage: load_driver --addr HOST:PORT [--clients N] [--requests N]
 //!                    [job flags: --size/--engine/--retries/--deadline-secs/
-//!                     --inject/--campaign/--kind]
+//!                     --inject/--campaign/--kind/--fusion]
 //!                    [--out MATRIX.JSON] [--stats-out STATS.JSON]
 //!                    [--min-hit-rate PCT]
 //!
@@ -32,12 +32,42 @@ use server::{Client, JobOutcome, JobSpec};
 /// rejections (the daemon is saturated beyond backoff's help).
 const MAX_BUSY_RETRIES: u32 = 200;
 
+/// First busy rejection sleeps around this long ...
+const BUSY_BACKOFF_BASE_MS: u64 = 5;
+
+/// ... doubling per consecutive rejection up to this cap.
+const BUSY_BACKOFF_CAP_MS: u64 = 250;
+
+/// splitmix64 — the jitter stream (one per client thread, deterministic
+/// from the client index, so runs are reproducible but threads never
+/// sleep in lockstep).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Capped exponential backoff with full jitter: consecutive rejection
+/// `retry` sleeps a uniform random duration in
+/// `[base, min(cap, base << retry)]`. Exponential growth drains a
+/// saturated admission queue; the jitter keeps the herd from thundering
+/// back in phase.
+fn busy_backoff(retry: u32, rng: &mut u64) -> Duration {
+    let ceil = BUSY_BACKOFF_BASE_MS
+        .saturating_mul(1u64 << retry.min(16) as u64)
+        .min(BUSY_BACKOFF_CAP_MS);
+    let span = ceil.saturating_sub(BUSY_BACKOFF_BASE_MS) + 1;
+    Duration::from_millis(BUSY_BACKOFF_BASE_MS + splitmix64(rng) % span)
+}
+
 fn usage() -> ! {
     eprintln!(
         "usage: load_driver --addr HOST:PORT [--clients N] [--requests N] \
          [--size NAME] [--engine NAME] [--retries N] [--deadline-secs S] \
-         [--inject SPEC] [--campaign SEED:N] [--kind matrix|campaign|trace] \
-         [--out MATRIX.JSON] [--stats-out STATS.JSON] [--min-hit-rate PCT] \
+         [--inject SPEC] [--campaign SEED:N] [--kind matrix|campaign|trace|fusion] \
+         [--fusion] [--out MATRIX.JSON] [--stats-out STATS.JSON] [--min-hit-rate PCT] \
          [--fail-on-cell-failures]"
     );
     std::process::exit(2);
@@ -62,6 +92,10 @@ struct Tally {
     /// and only gated by `--fail-on-cell-failures`.
     cell_failures: AtomicU64,
     busy_rejections: AtomicU64,
+    /// Longest consecutive busy-retry streak any single request needed.
+    max_busy_streak: AtomicU64,
+    /// Cumulative milliseconds slept in busy backoff across all clients.
+    backoff_ms: AtomicU64,
     shutdowns: AtomicU64,
     divergent: AtomicU64,
     first_matrix: Mutex<Option<String>>,
@@ -81,7 +115,7 @@ impl Tally {
     }
 }
 
-fn run_client(addr: &str, spec: &JobSpec, requests: u64, tally: &Tally) {
+fn run_client(id: u64, addr: &str, spec: &JobSpec, requests: u64, tally: &Tally) {
     let mut client = match Client::connect(addr) {
         Ok(c) => c,
         Err(e) => {
@@ -90,6 +124,7 @@ fn run_client(addr: &str, spec: &JobSpec, requests: u64, tally: &Tally) {
             return;
         }
     };
+    let mut rng = id.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x10ad_d21f_e500_0001;
     for _ in 0..requests {
         let mut busy_retries = 0u32;
         loop {
@@ -110,13 +145,14 @@ fn run_client(addr: &str, spec: &JobSpec, requests: u64, tally: &Tally) {
                 Ok(JobOutcome::Busy { .. }) => {
                     tally.busy_rejections.fetch_add(1, Ordering::Relaxed);
                     busy_retries += 1;
+                    tally.max_busy_streak.fetch_max(busy_retries as u64, Ordering::Relaxed);
                     if busy_retries > MAX_BUSY_RETRIES {
                         tally.failures.fetch_add(1, Ordering::Relaxed);
                         break;
                     }
-                    // Linear backoff, capped: enough to drain a saturated
-                    // admission queue without thundering back in.
-                    std::thread::sleep(Duration::from_millis((5 * busy_retries as u64).min(250)));
+                    let sleep = busy_backoff(busy_retries, &mut rng);
+                    tally.backoff_ms.fetch_add(sleep.as_millis() as u64, Ordering::Relaxed);
+                    std::thread::sleep(sleep);
                 }
                 Ok(JobOutcome::Shutdown { .. }) => {
                     tally.shutdowns.fetch_add(1, Ordering::Relaxed);
@@ -181,9 +217,9 @@ fn main() {
     let tally = Arc::new(Tally::default());
     let t0 = Instant::now();
     let handles: Vec<_> = (0..clients)
-        .map(|_| {
+        .map(|id| {
             let (addr, spec, tally) = (addr.clone(), spec.clone(), Arc::clone(&tally));
-            std::thread::spawn(move || run_client(&addr, &spec, requests, &tally))
+            std::thread::spawn(move || run_client(id, &addr, &spec, requests, &tally))
         })
         .collect();
     for h in handles {
@@ -205,6 +241,8 @@ fn main() {
     let failures = tally.failures.load(Ordering::Relaxed);
     let cell_failures = tally.cell_failures.load(Ordering::Relaxed);
     let busy = tally.busy_rejections.load(Ordering::Relaxed);
+    let max_streak = tally.max_busy_streak.load(Ordering::Relaxed);
+    let backoff_ms = tally.backoff_ms.load(Ordering::Relaxed);
     let shutdowns = tally.shutdowns.load(Ordering::Relaxed);
     let divergent = tally.divergent.load(Ordering::Relaxed);
     let (p50, p99) = (hist.quantile(0.5), hist.quantile(0.99));
@@ -217,7 +255,7 @@ fn main() {
     println!("  jobs ok:        {ok} ({throughput:.2} jobs/s)");
     println!("  failures:       {failures}");
     println!("  cell failures:  {cell_failures}");
-    println!("  busy retries:   {busy}");
+    println!("  busy retries:   {busy} (max streak {max_streak}, {backoff_ms} ms backed off)");
     println!("  shutdown-ended: {shutdowns}");
     println!("  divergent:      {divergent}");
     println!("  latency us:     p50 {p50}  p99 {p99}  mean {:.0}  max {}", hist.mean(), hist.max());
@@ -244,6 +282,8 @@ fn main() {
             ("failures", Json::Num(failures as f64)),
             ("cell_failures", Json::Num(cell_failures as f64)),
             ("busy_rejections", Json::Num(busy as f64)),
+            ("busy_max_streak", Json::Num(max_streak as f64)),
+            ("backoff_sleep_ms", Json::Num(backoff_ms as f64)),
             ("shutdowns", Json::Num(shutdowns as f64)),
             ("divergent_matrices", Json::Num(divergent as f64)),
             ("p50_latency_us", Json::Num(p50 as f64)),

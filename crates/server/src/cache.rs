@@ -35,16 +35,28 @@ pub struct CellKey {
     pub isa: String,
     pub size: String,
     pub engine: String,
+    /// Whether the macro-op fusion pass was armed. Fused and unfused
+    /// measurements of the same cell differ (the fused one carries the
+    /// extra report), so they must never share a cache slot.
+    pub fusion: bool,
 }
 
 impl CellKey {
-    pub fn new(workload: &str, compiler: &str, isa: &str, size: &str, engine: &str) -> CellKey {
+    pub fn new(
+        workload: &str,
+        compiler: &str,
+        isa: &str,
+        size: &str,
+        engine: &str,
+        fusion: bool,
+    ) -> CellKey {
         CellKey {
             workload: workload.into(),
             compiler: compiler.into(),
             isa: isa.into(),
             size: size.into(),
             engine: engine.into(),
+            fusion,
         }
     }
 }
@@ -53,8 +65,13 @@ impl std::fmt::Display for CellKey {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{}/{}/{}@{}/{}",
-            self.workload, self.compiler, self.isa, self.size, self.engine
+            "{}/{}/{}@{}/{}{}",
+            self.workload,
+            self.compiler,
+            self.isa,
+            self.size,
+            self.engine,
+            if self.fusion { "+fusion" } else { "" }
         )
     }
 }
@@ -166,7 +183,17 @@ impl ResultCache {
         let mut map = self.map.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let mut n = 0;
         for cell in &matrix.cells {
-            let key = CellKey::new(&cell.workload, &cell.compiler, &cell.isa, size, engine);
+            // A cell carrying a fusion report seeds the fused slot; its
+            // plain twin stays a miss (and vice versa) — the two are
+            // different measurements.
+            let key = CellKey::new(
+                &cell.workload,
+                &cell.compiler,
+                &cell.isa,
+                size,
+                engine,
+                cell.fused.is_some(),
+            );
             if !matches!(map.get(&key), Some(Entry::Done(_))) {
                 map.insert(key, Entry::Done(cell.clone()));
                 n += 1;

@@ -191,6 +191,12 @@ pub enum JobKind {
     /// The matrix through the trace cache: first run captures each cell's
     /// retired-instruction stream, later runs replay it.
     TraceAnalysis,
+    /// Trace analysis with the macro-op fusion pass armed: every cell
+    /// additionally reports fused pair counts and effective path length.
+    /// Served from the same trace cache as [`JobKind::TraceAnalysis`] —
+    /// traces are fusion-independent — but cached under a distinct result
+    /// provenance key.
+    FusionReport,
 }
 
 impl JobKind {
@@ -199,6 +205,7 @@ impl JobKind {
             JobKind::Matrix => "matrix",
             JobKind::Campaign => "campaign",
             JobKind::TraceAnalysis => "trace",
+            JobKind::FusionReport => "fusion",
         }
     }
 
@@ -207,7 +214,10 @@ impl JobKind {
             "matrix" => Ok(JobKind::Matrix),
             "campaign" => Ok(JobKind::Campaign),
             "trace" => Ok(JobKind::TraceAnalysis),
-            other => Err(format!("unknown job kind {other:?}; one of: matrix, campaign, trace")),
+            "fusion" => Ok(JobKind::FusionReport),
+            other => {
+                Err(format!("unknown job kind {other:?}; one of: matrix, campaign, trace, fusion"))
+            }
         }
     }
 }
@@ -229,6 +239,9 @@ pub struct JobSpec {
     pub inject: Option<String>,
     /// `<seed>:<n-faults>` campaign spec.
     pub campaign: Option<String>,
+    /// Arm the macro-op fusion pass (implied by
+    /// [`JobKind::FusionReport`]; also legal on plain matrix jobs).
+    pub fusion: bool,
 }
 
 impl JobSpec {
@@ -243,6 +256,7 @@ impl JobSpec {
             deadline_secs: None,
             inject: None,
             campaign: None,
+            fusion: false,
         }
     }
 
@@ -265,6 +279,7 @@ impl JobSpec {
             deadline_secs: flags.deadline.map(|d| d.as_secs_f64()),
             inject: cli::flag_value(args, "--inject"),
             campaign: cli::flag_value(args, "--campaign"),
+            fusion: flags.fusion || kind == JobKind::FusionReport,
         };
         spec.validate()?;
         Ok(spec)
@@ -283,6 +298,12 @@ impl JobSpec {
             JobKind::TraceAnalysis if self.inject.is_some() || self.campaign.is_some() => {
                 Err("trace jobs cannot inject faults (the trace cache ignores armed cells)".into())
             }
+            JobKind::FusionReport if self.inject.is_some() || self.campaign.is_some() => {
+                Err("fusion jobs cannot inject faults (fusion measures the clean stream)".into())
+            }
+            JobKind::FusionReport if !self.fusion => {
+                Err("fusion jobs must carry the fusion flag".into())
+            }
             _ => Ok(()),
         }
     }
@@ -293,7 +314,7 @@ impl JobSpec {
     /// of this string, which is how a restarted daemon finds the records
     /// of a killed run when the same spec is resubmitted.
     pub fn canonical(&self) -> String {
-        format!(
+        let mut key = format!(
             "v{PROTO_VERSION}:{}:{}:{}:r{}:d{}:i{}:c{}",
             self.kind.name(),
             self.size.name(),
@@ -302,7 +323,13 @@ impl JobSpec {
             self.deadline_secs.map(|d| d.to_string()).unwrap_or_else(|| "-".into()),
             self.inject.as_deref().unwrap_or("-"),
             self.campaign.as_deref().unwrap_or("-"),
-        )
+        );
+        // Appended only when armed, so unfused keys (and the journal file
+        // names hashed from them) are byte-identical to older builds'.
+        if self.fusion {
+            key.push_str(":f1");
+        }
+        key
     }
 
     /// Lower the spec into the core's [`MatrixOptions`], mirroring
@@ -338,12 +365,13 @@ impl JobSpec {
             retries: self.retries,
             inject,
             campaign,
-            trace_dir: (self.kind == JobKind::TraceAnalysis)
+            trace_dir: matches!(self.kind, JobKind::TraceAnalysis | JobKind::FusionReport)
                 .then_some(trace_dir)
                 .flatten(),
             heed_shutdown: true,
             checkpoint_dir: None,
             engine: self.engine,
+            fusion: self.fusion,
         };
         Ok((opts, manifest))
     }
@@ -363,6 +391,9 @@ impl JobSpec {
         }
         if let Some(c) = &self.campaign {
             fields.push(("campaign", Json::Str(c.clone())));
+        }
+        if self.fusion {
+            fields.push(("fusion", Json::Bool(true)));
         }
         Json::obj(fields)
     }
@@ -396,6 +427,7 @@ impl JobSpec {
             deadline_secs,
             inject: s("inject"),
             campaign: s("campaign"),
+            fusion: matches!(j.get("fusion"), Some(Json::Bool(true))),
         };
         spec.validate().map_err(|e| bad(&e))?;
         Ok(spec)

@@ -423,7 +423,7 @@ fn run_job(state: &Arc<State>, spec: &JobSpec, stream: &mut TcpStream) -> Result
             outstanding += 1;
             continue;
         }
-        let key = CellKey::new(wn, pl, il, size.name(), spec.engine.name());
+        let key = CellKey::new(wn, pl, il, size.name(), spec.engine.name(), spec.fusion);
         match state.cache.claim(&key) {
             Claim::Hit(cell) => {
                 hits += 1;

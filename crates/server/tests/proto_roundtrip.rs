@@ -38,8 +38,15 @@ fn client_messages_round_trip() {
         deadline_secs: Some(2.5),
         inject: None,
         campaign: Some("42:6".into()),
+        fusion: false,
     };
     roundtrip_client(ClientMsg::Submit { job: full });
+
+    // A fused trace-analysis job: the `fusion` flag must survive the wire.
+    let mut fused = JobSpec::matrix(isacmp::SizeClass::Test);
+    fused.kind = server::JobKind::FusionReport;
+    fused.fusion = true;
+    roundtrip_client(ClientMsg::Submit { job: fused });
 }
 
 #[test]
@@ -245,6 +252,12 @@ fn job_spec_canonical_is_stable_and_discriminating() {
     let mut c = a.clone();
     c.engine = isacmp::Engine::Legacy;
     assert_ne!(a.canonical(), c.canonical());
+    // The fusion axis must discriminate cache/journal identity, and it does
+    // so with a suffix so every pre-fusion canonical string stays byte-stable.
+    let mut f = a.clone();
+    f.fusion = true;
+    assert_ne!(a.canonical(), f.canonical());
+    assert_eq!(f.canonical(), "v1:matrix:test:block:r1:d-:i-:c-:f1");
 }
 
 #[test]
@@ -261,6 +274,23 @@ fn job_spec_validation_rejects_kind_flag_disagreements() {
     armed_trace.kind = server::JobKind::TraceAnalysis;
     armed_trace.inject = Some("dhrystone/gcc-12.2/RISC-V:decode".into());
     assert!(armed_trace.validate().is_err());
+
+    // Fusion measures the clean retired stream: fault injection is refused.
+    let mut armed_fusion = JobSpec::matrix(isacmp::SizeClass::Test);
+    armed_fusion.kind = server::JobKind::FusionReport;
+    armed_fusion.fusion = true;
+    armed_fusion.inject = Some("dhrystone/gcc-12.2/RISC-V:decode".into());
+    assert!(armed_fusion.validate().is_err());
+
+    // A fusion job without the fusion flag is self-contradictory.
+    let mut unflagged_fusion = JobSpec::matrix(isacmp::SizeClass::Test);
+    unflagged_fusion.kind = server::JobKind::FusionReport;
+    assert!(unflagged_fusion.validate().is_err());
+
+    let mut ok_fusion = JobSpec::matrix(isacmp::SizeClass::Test);
+    ok_fusion.kind = server::JobKind::FusionReport;
+    ok_fusion.fusion = true;
+    assert!(ok_fusion.validate().is_ok());
 }
 
 #[test]
@@ -275,4 +305,12 @@ fn job_spec_from_args_uses_the_shared_cli_grammar() {
 
     let bad: Vec<String> = ["--size", "galactic"].iter().map(|s| s.to_string()).collect();
     assert!(JobSpec::from_args(&bad).is_err());
+
+    // `--kind fusion` implies the fusion flag so the spec validates as built.
+    let fused: Vec<String> =
+        ["--kind", "fusion", "--size", "test"].iter().map(|s| s.to_string()).collect();
+    let spec = JobSpec::from_args(&fused).expect("valid args");
+    assert_eq!(spec.kind, server::JobKind::FusionReport);
+    assert!(spec.fusion);
+    assert!(spec.validate().is_ok());
 }

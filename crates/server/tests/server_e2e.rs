@@ -191,6 +191,57 @@ fn restarted_daemon_recovers_a_killed_jobs_journal() {
 }
 
 #[test]
+fn fused_and_unfused_jobs_never_share_cache_slots() {
+    // Same size, same engine, opposite fusion axis: the daemon must key the
+    // two apart (distinct CellKeys, distinct canonical/journal identities)
+    // and a fused submission after a warm unfused one must recompute every
+    // cell — a cross-contaminated hit would serve unfused bytes as fused.
+    let fused_reference = {
+        let opts =
+            MatrixOptions { retries: 1, heed_shutdown: true, fusion: true, ..Default::default() };
+        run_matrix_opts(&Workload::ALL, SizeClass::Test, &opts).to_json()
+    };
+    with_server(test_config("fusion-axis"), |addr| {
+        let mut client = Client::connect(&addr.to_string()).expect("connect");
+        let total = matrix_combos(&Workload::ALL).len() as u64;
+
+        let unfused_spec = JobSpec::matrix(SizeClass::Test);
+        let mut fused_spec = JobSpec::matrix(SizeClass::Test);
+        fused_spec.kind = server::JobKind::FusionReport;
+        fused_spec.fusion = true;
+        assert_ne!(unfused_spec.canonical(), fused_spec.canonical());
+
+        let (hits, misses, _, unfused_json) =
+            expect_done(client.submit(&unfused_spec, |_, _, _, _| {}).unwrap());
+        assert_eq!((hits, misses), (0, total));
+
+        // Warm unfused cache must not satisfy a single fused cell.
+        let (hits, misses, failures, fused_json) =
+            expect_done(client.submit(&fused_spec, |_, _, _, _| {}).unwrap());
+        assert_eq!((hits, misses, failures), (0, total, 0), "fused run must miss everywhere");
+        assert_ne!(fused_json, unfused_json);
+        assert!(fused_json.contains("\"fused\""), "fused cells carry their report");
+        assert!(!unfused_json.contains("\"fused\""), "unfused cells stay pre-fusion-identical");
+        assert_eq!(fused_json, fused_reference, "daemon fused bytes == one-shot fused bytes");
+
+        // Both axes now resident: each resubmission is all hits on its own
+        // slots and returns its own bytes.
+        let (hits, _, _, fused_again) =
+            expect_done(client.submit(&fused_spec, |_, _, _, _| {}).unwrap());
+        assert_eq!(hits, total);
+        assert_eq!(fused_again, fused_json);
+        let (hits, _, _, unfused_again) =
+            expect_done(client.submit(&unfused_spec, |_, _, _, _| {}).unwrap());
+        assert_eq!(hits, total);
+        assert_eq!(unfused_again, unfused_json);
+
+        let mut probe = Client::connect(&addr.to_string()).expect("connect");
+        let stats = probe.stats().expect("stats");
+        assert_eq!(stats.cache_cells, 2 * total, "both axes resident, keyed apart");
+    });
+}
+
+#[test]
 fn admission_control_rejects_with_typed_busy() {
     let cfg = Config { max_jobs: 0, ..test_config("admission") };
     with_server(cfg, |addr| {

@@ -1,0 +1,85 @@
+//! Differential test for the macro-op fusion pass: a fusion report computed
+//! during live emulation and one computed by replaying the captured trace
+//! must be byte-identical — the pass sees only `RetiredInst` fields, which
+//! is exactly what the trace format carries. Also pins the cache-separation
+//! contract: fused and unfused cells share trace files (traces are
+//! fusion-independent) but never share results.
+
+use isacmp::{
+    run_cell_opts, run_matrix_opts, CellOptions, IsaKind, MatrixOptions, Personality, SizeClass,
+    Workload,
+};
+
+fn fused_opts(dir: &std::path::Path) -> MatrixOptions {
+    MatrixOptions { trace_dir: Some(dir.to_path_buf()), fusion: true, ..Default::default() }
+}
+
+#[test]
+fn replayed_fusion_reports_match_live_byte_identically() {
+    let dir = std::env::temp_dir().join(format!("isacmp-fusion-replay-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let tel = isacmp::telemetry::global();
+
+    let captures_before = tel.counter("trace_captures");
+    let live = run_matrix_opts(&Workload::ALL, SizeClass::Test, &fused_opts(&dir));
+    assert!(live.is_complete(), "live fused matrix must be clean:\n{}", live.failure_summary());
+    assert_eq!(tel.counter("trace_captures") - captures_before, 20);
+    assert!(live.has_fused(), "fusion: true must populate every cell's fused block");
+
+    let replays_before = tel.counter("trace_replays");
+    let replayed = run_matrix_opts(&Workload::ALL, SizeClass::Test, &fused_opts(&dir));
+    assert!(replayed.is_complete(), "replay must be clean:\n{}", replayed.failure_summary());
+    assert_eq!(tel.counter("trace_replays") - replays_before, 20);
+
+    // The fused artifacts, byte for byte: the comparison table, the per-pair
+    // CSV, and fig1 with its effective-path columns.
+    assert_eq!(live.fusion_table(), replayed.fusion_table());
+    assert_eq!(live.fusion_csv(), replayed.fusion_csv());
+    assert_eq!(live.fig1_csv(), replayed.fig1_csv());
+    // And the full per-cell reports, through the JSON round-trip the daemon
+    // and the journal both use.
+    assert_eq!(live.to_json(), replayed.to_json());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fused_and_unfused_cells_share_traces_but_not_results() {
+    let dir = std::env::temp_dir().join(format!("isacmp-fusion-axis-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let tel = isacmp::telemetry::global();
+
+    let cell = |fusion: bool| {
+        let opts = CellOptions { trace_dir: Some(dir.clone()), fusion, ..Default::default() };
+        run_cell_opts(Workload::Stream, IsaKind::RiscV, &Personality::gcc122(), SizeClass::Test, &opts)
+            .expect("cell must run")
+    };
+
+    // Unfused capture first; the fused run must *replay* the same trace —
+    // the fusion axis changes results, never the captured stream.
+    let unfused = cell(false);
+    let replays_before = tel.counter("trace_replays");
+    let fused = cell(true);
+    assert_eq!(
+        tel.counter("trace_replays") - replays_before,
+        1,
+        "a fused run must reuse the unfused run's trace"
+    );
+
+    assert!(unfused.fused.is_none(), "fusion off must leave the cell's fused block empty");
+    let report = fused.fused.as_ref().expect("fusion on must attach a report");
+    assert_eq!(report.effective_path_length, fused.path_length - report.fused_pairs);
+    assert!(
+        report.fused_critical_path <= fused.critical_path,
+        "fusing can only shorten the critical path"
+    );
+
+    // Every non-fused measurement must agree between the two cells: the
+    // fusion observer rides alongside the baseline analyses, never in front
+    // of them.
+    let mut defused = fused.clone();
+    defused.fused = None;
+    assert_eq!(unfused, defused, "fusion must not perturb the baseline measurements");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
